@@ -1,0 +1,68 @@
+"""Ablation: the γ² threshold τ of the GEE/MLE chooser.
+
+The paper sets τ = 10 ("we set a limit of 10 on γ², and use this as our
+threshold") after observing "a wide gap between γ² values for low skew and
+high skew data". This ablation sweeps τ across {0 (always GEE), 1, 10, 100,
+∞ (always MLE)} over a grid of skews and domain sizes, scoring each setting
+by mean relative estimation error at the 10% sample point.
+
+What we assert is *robustness*, not dominance: at reproduction scale the
+always-GEE setting is competitive on mean error (GEE's overestimation bite
+shrinks once every group has been seen a few times), so the honest claim —
+consistent with the paper's "we can observe a correlation between the value
+of γ² and which estimator does better" — is that τ = 10 is never much worse
+than the best fixed choice and strictly guards against MLE's weak high-skew
+behaviour.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import CUSTOMER_ROWS, run_once
+from repro.core.distinct import HybridGroupCountEstimator
+from repro.datagen.zipf import ZipfDistribution
+
+TAUS = [0.0, 1.0, 10.0, 100.0, float("inf")]
+CONFIGS = [(z, n) for z in (0.0, 0.5, 1.0, 2.0) for n in (300, 3000, 12_000)]
+SAMPLE_POINT = CUSTOMER_ROWS // 10
+
+
+def _measure():
+    errors = {tau: [] for tau in TAUS}
+    for z, domain in CONFIGS:
+        values = [
+            int(v) for v in ZipfDistribution(domain, z, seed=29).sample(CUSTOMER_ROWS)
+        ]
+        truth = len(set(values))
+        for tau in TAUS:
+            hybrid = HybridGroupCountEstimator(total=CUSTOMER_ROWS, tau=tau)
+            for v in values[:SAMPLE_POINT]:
+                hybrid.observe(v)
+            errors[tau].append(abs(hybrid.estimate() - truth) / truth)
+    return {tau: sum(errs) / len(errs) for tau, errs in errors.items()}
+
+
+def _label(tau: float) -> str:
+    if tau == 0.0:
+        return "0 (GEE)"
+    if tau == float("inf"):
+        return "inf (MLE)"
+    return f"{tau:g}"
+
+
+def test_ablation_chooser_threshold(benchmark, report):
+    mean_errors = run_once(benchmark, _measure)
+
+    report.line("Ablation: γ² chooser threshold τ (mean rel. error at 10% sample)")
+    report.line(f"{len(CONFIGS)} configurations: z in {{0,0.5,1,2}} x domains {{300,3K,12K}}")
+    report.table(
+        ["τ", "mean rel. error"],
+        [[_label(tau), f"{mean_errors[tau]:.3f}"] for tau in TAUS],
+        widths=[12, 17],
+    )
+
+    paper_tau = mean_errors[10.0]
+    best_fixed = min(mean_errors[0.0], mean_errors[float("inf")])
+    # Robust: within 1.5x of the best fixed choice...
+    assert paper_tau <= best_fixed * 1.5 + 1e-9
+    # ...and strictly better than committing to MLE everywhere.
+    assert paper_tau < mean_errors[float("inf")]

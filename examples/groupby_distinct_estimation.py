@@ -1,0 +1,79 @@
+"""Group-count estimation: GEE vs MLE vs the γ² hybrid chooser.
+
+Feeds Zipfian value streams of varying skew to the three estimators and
+reports when each gets within 10% of the true number of groups — the
+Table 1 experiment of the paper at example scale. High skew favours GEE,
+low skew favours MLE; the hybrid picks by the squared coefficient of
+variation of the observed frequencies (threshold τ = 10).
+
+Run:  python examples/groupby_distinct_estimation.py
+"""
+
+from repro import GEEEstimator, GroupFrequencyState, HybridGroupCountEstimator, MLEEstimator
+from repro.datagen import ZipfDistribution
+
+
+def rows_to_within_10pct(values, true_count: int, estimate_fn) -> int | None:
+    """First t at which the running estimate is within 10% of truth."""
+    state_t = 0
+    for t, value in enumerate(values, start=1):
+        estimate_fn.observe(value)
+        state_t = t
+        if t % 250 == 0:
+            est = estimate_fn.estimate()
+            if abs(est - true_count) <= 0.1 * true_count:
+                return t
+    est = estimate_fn.estimate()
+    if abs(est - true_count) <= 0.1 * true_count:
+        return state_t
+    return None
+
+
+class _Single:
+    """Adapter running one base estimator with shared state semantics."""
+
+    def __init__(self, cls, total: int):
+        self.state = GroupFrequencyState()
+        self.base = cls(self.state)
+        self.total = total
+
+    def observe(self, value) -> None:
+        self.state.observe(value)
+
+    def estimate(self) -> float:
+        return self.base.estimate(self.total)
+
+
+def main() -> None:
+    total = 50_000
+    print(f"{'skew':>5} {'#values':>8} {'true':>7} {'γ²@10%':>8}"
+          f" {'GEE':>8} {'MLE':>8} {'hybrid':>8}  (rows until within 10%)")
+    for z, domain in [(0.0, 1_000), (0.0, 40_000), (1.0, 1_000),
+                      (1.0, 40_000), (2.0, 1_000), (2.0, 40_000)]:
+        dist = ZipfDistribution(domain, z, seed=11)
+        values = [int(v) for v in dist.sample(total)]
+        true_count = len(set(values))
+
+        gamma_probe = GroupFrequencyState()
+        for v in values[: total // 10]:
+            gamma_probe.observe(v)
+
+        results = {}
+        for name, est in [
+            ("GEE", _Single(GEEEstimator, total)),
+            ("MLE", _Single(MLEEstimator, total)),
+            ("hybrid", HybridGroupCountEstimator(total=total)),
+        ]:
+            hit = rows_to_within_10pct(iter(values), true_count, est)
+            results[name] = f"{hit:,}" if hit else ">all"
+
+        print(
+            f"{z:>5.1f} {domain:>8,} {true_count:>7,} {gamma_probe.gamma_squared:>8.2f}"
+            f" {results['GEE']:>8} {results['MLE']:>8} {results['hybrid']:>8}"
+        )
+    print("\nGEE wins under high skew (γ² above τ=10); MLE wins under low"
+          "\nskew with moderate group counts; the hybrid tracks the winner.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""A workload dashboard: progress over several concurrent queries.
+
+Runs three queries interleaved (round-robin, as a multi-backend DBMS
+would time-slice them) and prints a periodically refreshed dashboard with
+per-query and aggregate progress — the multi-query extension of the
+single-query indicator (cf. Luo et al.'s follow-up work cited in the
+paper's Section 2).
+
+Run:  python examples/multi_query_dashboard.py
+"""
+
+import sys
+import time
+
+from repro.core.multi_query import InterleavedExecutor, MultiQueryProgressMonitor
+from repro.datagen import generate_tpch
+from repro.sql import compile_select
+
+QUERIES = {
+    "revenue-by-nation": """
+        SELECT n.name, SUM(o.totalprice) AS revenue
+        FROM orders o
+        JOIN customer c ON o.custkey = c.custkey
+        JOIN nation n ON c.nationkey = n.nationkey
+        GROUP BY n.name
+    """,
+    "big-orders": """
+        SELECT o.orderkey, o.totalprice
+        FROM lineitem l
+        JOIN orders o ON l.orderkey = o.orderkey
+        WHERE o.totalprice > 400000
+    """,
+    "parts-per-supplier": """
+        SELECT s.name, COUNT(*) AS parts
+        FROM partsupp ps
+        JOIN supplier s ON ps.suppkey = s.suppkey
+        GROUP BY s.name
+    """,
+}
+
+
+def main() -> None:
+    catalog = generate_tpch(sf=0.01, seed=3, skew_z=1.0)
+    monitor = MultiQueryProgressMonitor()
+    for name, sql in QUERIES.items():
+        compiled = compile_select(catalog, sql)
+        monitor.add_query(name, compiled.plan, mode="once", tick_interval=500)
+
+    last = [0.0]
+
+    def dashboard(mon: MultiQueryProgressMonitor) -> None:
+        now = time.perf_counter()
+        if now - last[0] < 0.2:
+            return
+        last[0] = now
+        snap = mon.snapshot()
+        parts = [f"{name}: {p:6.1%}" for name, p in snap.per_query.items()]
+        sys.stdout.write(
+            "\r" + " | ".join(parts) + f"  ||  workload: {snap.progress:6.1%}   "
+        )
+        sys.stdout.flush()
+
+    executor = InterleavedExecutor(monitor, quantum_rows=200, on_turn=dashboard)
+    started = time.perf_counter()
+    counts = executor.run()
+    elapsed = time.perf_counter() - started
+
+    final = monitor.snapshot()
+    print("\n\nfinished:")
+    for name, rows in counts.items():
+        print(f"  {name:<22} {rows:>8,} rows")
+    print(f"workload progress: {final.progress:.1%} in {elapsed:.2f}s "
+          f"({executor.turns_taken} scheduler turns)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""TPC-H Q8-style progress indication: the Figure 8 experiment, live.
+
+Runs an 8-table join pipeline (7 chained hash joins over a skewed TPC-H
+database, topped by an aggregation) twice — once with this paper's online
+framework, once with the driver-node baseline — and prints estimated vs
+actual progress side by side. The optimizer badly underestimates the
+filtered skewed joins, so dne reports wildly optimistic progress until the
+join output materialises; ONCE corrects all seven join cardinalities during
+lineitem's probe pass and tracks true progress from then on.
+
+Run:  python examples/tpch_q8_progress.py
+"""
+
+from repro import ExecutionEngine, ProgressMonitor, TickBus
+from repro.workloads import tpch_q8_like
+
+
+def run(mode: str) -> ProgressMonitor:
+    setup = tpch_q8_like(sf=0.005, skew_z=2.0, sample_fraction=0.1)
+    bus = TickBus(interval=2000)
+    monitor = ProgressMonitor(setup.plan, mode=mode, bus=bus)
+    ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+    return monitor
+
+
+def curve_at(monitor: ProgressMonitor, actual_points: list[float]) -> list[float]:
+    curve = monitor.progress_curve()
+    out = []
+    for target in actual_points:
+        est = next((e for a, e in curve if a >= target), curve[-1][1])
+        out.append(est)
+    return out
+
+
+def main() -> None:
+    actual_points = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    print("running with ONCE (this paper)...")
+    once = run("once")
+    print("running with dne (Chaudhuri et al. baseline)...\n")
+    dne = run("dne")
+
+    once_curve = curve_at(once, actual_points)
+    dne_curve = curve_at(dne, actual_points)
+
+    print(f"{'actual':>8} {'once':>8} {'dne':>8}")
+    print("-" * 27)
+    for target, o, d in zip(actual_points, once_curve, dne_curve):
+        print(f"{target:>8.0%} {o:>8.1%} {d:>8.1%}")
+
+    print(
+        "\na perfect indicator reports estimated == actual;"
+        "\ndne overestimates progress for most of the run (Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

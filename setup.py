@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail at ``bdist_wheel``. With this shim,
+``pip install -e . --no-build-isolation --no-use-pep517`` works (see the
+pip.conf note in README); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Shared utilities: error types, seeded randomness, incremental statistics.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro.core` and :mod:`repro.executor` builds on them.
+"""
+
+from repro.common.errors import (
+    CatalogError,
+    EstimationError,
+    ExecutorError,
+    PlanError,
+    ReproError,
+    SchemaError,
+)
+from repro.common.rng import derive_seed, make_rng
+from repro.common.stats import (
+    IncrementalFrequencyStats,
+    RunningMeanVar,
+    normal_quantile,
+    squared_coefficient_of_variation,
+)
+
+__all__ = [
+    "CatalogError",
+    "EstimationError",
+    "ExecutorError",
+    "IncrementalFrequencyStats",
+    "PlanError",
+    "ReproError",
+    "RunningMeanVar",
+    "SchemaError",
+    "derive_seed",
+    "make_rng",
+    "normal_quantile",
+    "squared_coefficient_of_variation",
+]

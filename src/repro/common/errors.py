@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a column reference cannot be resolved."""
+
+
+class CatalogError(ReproError):
+    """A table or statistic is missing from the catalog."""
+
+
+class PlanError(ReproError):
+    """A query plan is structurally invalid (e.g. arity mismatch, cycles)."""
+
+
+class ExecutorError(ReproError):
+    """An operator was driven through an illegal state transition."""
+
+
+class EstimationError(ReproError):
+    """An estimator was queried before it had the inputs it requires."""

@@ -1,0 +1,68 @@
+"""The paper's contribution: the lightweight online estimation framework.
+
+Layout mirrors Section 4 of the paper:
+
+* :mod:`repro.core.histogram` — exact frequency histograms with the memory
+  accounting of Table 2.
+* :mod:`repro.core.confidence` — the binomial/normal confidence machinery
+  of Section 4.1.
+* :mod:`repro.core.join_estimators` — ONCE estimators for binary hash,
+  sort-merge, and index nested-loops joins (Sections 4.1.1-4.1.3).
+* :mod:`repro.core.pipeline_estimators` — Algorithm 1: push-down estimation
+  for chains of hash joins, same-attribute and different-attribute
+  (Cases 1 and 2) alike (Section 4.1.4).
+* :mod:`repro.core.distinct` — GEE (Algorithm 2), the MLE estimator with
+  its adaptive recomputation interval (Algorithm 3), and the γ²-based
+  online chooser (Section 4.2).
+* :mod:`repro.core.aggregate_estimators` — group-count estimation for
+  aggregates, including push-down into a feeding join.
+* :mod:`repro.core.dne` / :mod:`repro.core.byte_estimator` — the
+  driver-node (Chaudhuri et al.) and byte-model (Luo et al.) baselines.
+* :mod:`repro.core.progress` — the getnext-model progress monitor over
+  pipelines (Section 4.4).
+* :mod:`repro.core.manager` — walks a physical plan and attaches the right
+  estimator to every operator, per the paper's rules.
+"""
+
+from repro.core.byte_estimator import ByteModelEstimator
+from repro.core.confidence import binomial_beta, proportion_interval
+from repro.core.distinct import (
+    GEEEstimator,
+    GroupFrequencyState,
+    HybridGroupCountEstimator,
+    MLEEstimator,
+    RecomputeScheduler,
+)
+from repro.core.dne import DriverNodeEstimator
+from repro.core.histogram import BucketizedHistogram, FrequencyHistogram
+from repro.core.join_estimators import OnceJoinEstimator, attach_once_estimator
+from repro.core.manager import EstimationManager
+from repro.core.multi_query import InterleavedExecutor, MultiQueryProgressMonitor
+from repro.core.pipeline_estimators import HashJoinChainEstimator, find_hash_join_chains
+from repro.core.progress import ProgressMonitor, ProgressSnapshot
+from repro.core.theta_estimators import OnceThetaJoinEstimator, attach_theta_estimator
+
+__all__ = [
+    "BucketizedHistogram",
+    "ByteModelEstimator",
+    "DriverNodeEstimator",
+    "EstimationManager",
+    "FrequencyHistogram",
+    "GEEEstimator",
+    "GroupFrequencyState",
+    "HashJoinChainEstimator",
+    "HybridGroupCountEstimator",
+    "InterleavedExecutor",
+    "MLEEstimator",
+    "MultiQueryProgressMonitor",
+    "OnceJoinEstimator",
+    "OnceThetaJoinEstimator",
+    "ProgressMonitor",
+    "ProgressSnapshot",
+    "RecomputeScheduler",
+    "attach_once_estimator",
+    "attach_theta_estimator",
+    "binomial_beta",
+    "find_hash_join_chains",
+    "proportion_interval",
+]

@@ -1,0 +1,153 @@
+"""Group-count estimation attached to aggregation operators.
+
+Two attachment modes (Section 4.2):
+
+* **Direct** (:func:`attach_group_estimator`) — the aggregate's
+  preprocessing pass (hash partitioning / sort input read) feeds the hybrid
+  GEE/MLE estimator one group key per input tuple. When that pass completes,
+  the group count is exact, before any output row is emitted.
+* **Pushed down** (:func:`attach_pushed_down_group_estimator`) — when the
+  aggregate's input is a hash-join (chain) on the same stream and the group
+  column belongs to the chain's base probe stream, the input to the
+  aggregate cannot be treated as randomly ordered (it is clustered by the
+  join's partitions). The paper pushes estimation into the join: "In
+  addition to computing the estimate of the cardinality of the output of
+  the join, we also build a histogram storing the frequency distribution of
+  the output." Here the chain estimator streams
+  ``(group value, #output rows)`` pairs per probe tuple, which feed the same
+  hybrid estimator with weighted increments; the |T| it scales to is the
+  chain's own (converging) output-cardinality estimate.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EstimationError
+from repro.core.distinct import HybridGroupCountEstimator, TotalProvider
+from repro.core.join_estimators import resolve_stream_total
+from repro.core.pipeline_estimators import HashJoinChainEstimator
+from repro.executor.operators.aggregate import _AggregateBase
+from repro.executor.operators.base import Operator
+from repro.executor.operators.distinct import Distinct
+
+__all__ = [
+    "GroupCountEstimate",
+    "attach_distinct_estimator",
+    "attach_group_estimator",
+    "attach_pushed_down_group_estimator",
+]
+
+
+class GroupCountEstimate:
+    """Handle over an attached hybrid group-count estimator."""
+
+    def __init__(self, hybrid: HybridGroupCountEstimator, pushed_down: bool):
+        self.hybrid = hybrid
+        self.pushed_down = pushed_down
+
+    def current_estimate(self) -> float:
+        return self.hybrid.estimate()
+
+    @property
+    def exact(self) -> bool:
+        return self.hybrid.exact
+
+    @property
+    def chosen(self) -> str:
+        return self.hybrid.chosen
+
+    @property
+    def gamma_squared(self) -> float:
+        return self.hybrid.state.gamma_squared
+
+    @property
+    def history(self) -> list[tuple[int, float]]:
+        return self.hybrid.history
+
+
+def attach_group_estimator(
+    aggregate: _AggregateBase,
+    input_total: float | TotalProvider | None = None,
+    record_every: int = 0,
+    **hybrid_kwargs,
+) -> GroupCountEstimate:
+    """Attach a hybrid GEE/MLE estimator to an aggregate's input pass."""
+    if not aggregate.group_by:
+        raise EstimationError("global aggregates have exactly one group")
+    if input_total is None:
+        input_total = resolve_stream_total(aggregate.child)
+    hybrid = HybridGroupCountEstimator(
+        total=input_total, record_every=record_every, **hybrid_kwargs
+    )
+    aggregate.input_hooks.append(hybrid.observe_hook)
+
+    def on_phase(_op: Operator, phase: str) -> None:
+        if phase in ("emit", "done") and not hybrid.exact:
+            hybrid.finalize()
+
+    aggregate.phase_hooks.append(on_phase)
+    return GroupCountEstimate(hybrid, pushed_down=False)
+
+
+def attach_distinct_estimator(
+    distinct: Distinct,
+    input_total=None,
+    record_every: int = 0,
+    **hybrid_kwargs,
+) -> GroupCountEstimate:
+    """Attach a hybrid GEE/MLE estimator to a DISTINCT operator.
+
+    Duplicate elimination is the distinct-value problem with the whole row
+    as the grouping key; the estimator predicts the output cardinality
+    (number of distinct rows) during the input pass.
+    """
+    if input_total is None:
+        input_total = resolve_stream_total(distinct.child)
+    hybrid = HybridGroupCountEstimator(
+        total=input_total, record_every=record_every, **hybrid_kwargs
+    )
+    distinct.input_hooks.append(hybrid.observe_hook)
+
+    def on_phase(_op: Operator, phase: str) -> None:
+        if phase in ("emit", "done") and not hybrid.exact:
+            hybrid.finalize()
+
+    distinct.phase_hooks.append(on_phase)
+    return GroupCountEstimate(hybrid, pushed_down=False)
+
+
+def attach_pushed_down_group_estimator(
+    aggregate: _AggregateBase,
+    chain: HashJoinChainEstimator,
+    record_every: int = 0,
+    **hybrid_kwargs,
+) -> GroupCountEstimate:
+    """Push the aggregate's group-count estimation into a feeding join chain.
+
+    Requires a single group-by column that belongs to the chain's base
+    probe stream; raises :class:`EstimationError` otherwise so the caller
+    can fall back to :func:`attach_group_estimator`.
+    """
+    if len(aggregate.group_by) != 1:
+        raise EstimationError(
+            "push-down supports exactly one group column; "
+            f"got {list(aggregate.group_by)}"
+        )
+    group_column = aggregate.group_by[0]
+    hybrid = HybridGroupCountEstimator(
+        total=lambda: max(chain.current_estimate(), 1.0),
+        record_every=record_every,
+        **hybrid_kwargs,
+    )
+    chain.add_output_listener(group_column, hybrid.observe)
+
+    top = chain.chain[-1]
+
+    def on_phase(_op: Operator, phase: str) -> None:
+        # Once the chain's probe pass completes, the simulated output
+        # histogram covers the entire join output: group count exact.
+        if chain.exact and not hybrid.exact:
+            hybrid.finalize()
+
+    top.phase_hooks.append(on_phase)
+    chain.chain[0].phase_hooks.append(on_phase)
+    return GroupCountEstimate(hybrid, pushed_down=True)

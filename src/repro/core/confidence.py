@@ -1,0 +1,98 @@
+"""Confidence machinery for the online join estimators (Section 4.1).
+
+Two kinds of interval are provided:
+
+* :func:`binomial_beta` — the paper's distribution-free bound. For a value
+  frequency ``p`` estimated by ``N_i / t``, the normal approximation of the
+  binomial gives the α-percentile half-width ``Z_α sqrt(p(1-p)/t)``;
+  maximising ``p(1-p)`` at 1/4 yields the worst-case half-width
+  ``β = Z_α / (2 sqrt(t))`` quoted in the paper. β shrinks as 1/sqrt(t):
+  "an expression on how the confidence of our estimate improves ... as we
+  observe more elements of the tuple stream."
+
+* :class:`MeanEstimateInterval` — an empirical-variance interval for the
+  ONCE join estimate itself. The estimate after t probe tuples is
+  ``|S| × mean(X_1..X_t)`` with ``X_j = N^R[key_j]`` i.i.d. bounded
+  variables, so a standard normal interval on the mean (with finite
+  population correction, since sampling is effectively without replacement
+  from the probe stream) gives a far tighter bound than composing
+  per-value βs; both are exposed so their widths can be compared.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.stats import normal_quantile
+
+__all__ = ["MeanEstimateInterval", "binomial_beta", "proportion_interval"]
+
+
+def binomial_beta(t: int, alpha: float = 0.99) -> float:
+    """Worst-case half-width β = Z_α / (2 sqrt(t)) for a proportion
+    estimated from ``t`` observations (paper, Section 4.1)."""
+    if t <= 0:
+        return float("inf")
+    return normal_quantile(alpha) / (2.0 * math.sqrt(t))
+
+
+def proportion_interval(
+    successes: int, t: int, alpha: float = 0.99
+) -> tuple[float, float]:
+    """α-confidence interval for a proportion ``p`` given ``successes``
+    out of ``t`` observations, via the normal approximation with the
+    plug-in variance ``p̂(1-p̂)/t``."""
+    if t <= 0:
+        return (0.0, 1.0)
+    p_hat = successes / t
+    half = normal_quantile(alpha) * math.sqrt(max(p_hat * (1.0 - p_hat), 0.0) / t)
+    return (max(p_hat - half, 0.0), min(p_hat + half, 1.0))
+
+
+@dataclass
+class MeanEstimateInterval:
+    """Online normal interval for ``scale × mean(X_1..X_t)``.
+
+    Maintains Σx and Σx² incrementally; ``interval`` applies the finite
+    population correction ``(N - t)/(N - 1)`` when the population size
+    ``N`` (the probe stream length) is known.
+    """
+
+    count: int = 0
+    sum_x: float = 0.0
+    sum_x_sq: float = 0.0
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.sum_x += x
+        self.sum_x_sq += x * x
+
+    @property
+    def mean(self) -> float:
+        return self.sum_x / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        var = self.sum_x_sq / self.count - mean * mean
+        return max(var, 0.0)
+
+    def interval(
+        self,
+        scale: float,
+        alpha: float = 0.99,
+        population: float | None = None,
+    ) -> tuple[float, float]:
+        """α-confidence interval for ``scale × true mean``."""
+        center = scale * self.mean
+        if self.count < 2:
+            return (0.0, float("inf")) if self.count == 0 else (center, center)
+        se_sq = self.variance / self.count
+        if population is not None and population > 1:
+            fpc = max((population - self.count) / (population - 1), 0.0)
+            se_sq *= fpc
+        half = normal_quantile(alpha) * scale * math.sqrt(se_sq)
+        return (max(center - half, 0.0), center + half)

@@ -1,0 +1,268 @@
+"""ONCE: online cardinality estimation for binary joins (Sections 4.1.1-4.1.3).
+
+The estimator in one paragraph: during the preprocessing pass over one input
+R (hash-join build pass, first sort of a sort-merge join, index build of an
+index NL join) maintain an exact frequency histogram ``N^R``. Then, as the
+other input S streams by *in its original random order* (hash-join probe
+partitioning pass, second sort, outer scan), update
+
+    D_{t+1} = (D_t · t + N^R[key_{t+1}] · |S|) / (t + 1)
+
+i.e. ``D_t = |S| × mean_t(N^R[key])`` — one histogram lookup and two adds
+per probe tuple, no second histogram, no bucket-by-bucket multiply. The
+estimate is unbiased at every t, its confidence interval shrinks as
+1/sqrt(t), and when the pass completes (t = |S|) it equals the exact join
+cardinality — *before* any actual joining has happened.
+
+:class:`OnceJoinEstimator` implements the arithmetic;
+:func:`attach_once_estimator` wires it onto a concrete operator's hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import EstimationError
+from repro.core.confidence import MeanEstimateInterval, binomial_beta
+from repro.core.histogram import FrequencyHistogram
+from repro.executor.operators.base import Operator
+from repro.executor.operators.filter import Filter
+from repro.executor.operators.hash_join import HashJoin
+from repro.executor.operators.limit import Limit
+from repro.executor.operators.materialize import Materialize
+from repro.executor.operators.merge_join import SortMergeJoin
+from repro.executor.operators.nested_loops import IndexNestedLoopsJoin
+from repro.executor.operators.project import Project
+from repro.executor.operators.scan import IndexScan, SampleScan, SeqScan
+from repro.executor.operators.sort import Sort
+
+__all__ = [
+    "OnceJoinEstimator",
+    "attach_once_estimator",
+    "resolve_stream_total",
+]
+
+TotalProvider = Callable[[], float]
+
+
+def resolve_stream_total(op: Operator) -> TotalProvider:
+    """Best-available total-cardinality provider for a tuple stream.
+
+    * scans: exact (catalog row counts);
+    * selections: scan total × observed selectivity — the driver-node rule
+      the paper prescribes for selections (zero error in expectation on
+      random input, refined as the scan advances);
+    * pass-through operators: delegate to the child;
+    * anything else: the optimizer estimate annotated on the node, refined
+      to the observed count once the node is exhausted.
+    """
+    if isinstance(op, (SeqScan, SampleScan, IndexScan)):
+        total = float(op.total_rows)
+        return lambda: total
+    if isinstance(op, Filter):
+        child_total = resolve_stream_total(op.child)
+        return lambda: child_total() * op.observed_selectivity
+    if isinstance(op, (Project, Sort, Materialize)):
+        return resolve_stream_total(op.children()[0])
+    if isinstance(op, Limit):
+        child_total = resolve_stream_total(op.child)
+        n = float(op.n)
+        return lambda: min(n, child_total())
+
+    def fallback() -> float:
+        if op.is_exhausted:
+            return float(op.tuples_emitted)
+        if op.estimated_cardinality is not None:
+            return float(op.estimated_cardinality)
+        return float(max(op.tuples_emitted, 1))
+
+    return fallback
+
+
+class OnceJoinEstimator:
+    """Incremental join-size estimator over one build histogram.
+
+    Parameters
+    ----------
+    probe_total:
+        ``|S|``: the probe stream's total size — a number, or a provider
+        re-evaluated at each estimate (e.g. a selection whose selectivity
+        is still being observed).
+    record_every:
+        If > 0, append ``(t, estimate)`` to :attr:`history` every that many
+        probe tuples (used by the accuracy benchmarks).
+    join_type:
+        Join semantics; changes only the per-probe-tuple contribution
+        (Section 4.1.1, "similar estimators can be constructed for
+        semijoins and various kinds of outerjoins"):
+
+        * ``inner`` — ``N^R[key]``;
+        * ``semi``  — ``1`` if ``N^R[key] > 0`` else ``0``;
+        * ``anti``  — ``1`` if ``N^R[key] == 0`` else ``0``;
+        * ``outer`` — ``max(N^R[key], 1)`` (probe-preserving).
+    histogram:
+        Optionally inject the build histogram (e.g. a bucketized
+        approximation trading accuracy for memory; see
+        :class:`repro.core.histogram.BucketizedHistogram`).
+    """
+
+    def __init__(
+        self,
+        probe_total: float | TotalProvider | None = None,
+        record_every: int = 0,
+        join_type: str = "inner",
+        histogram=None,
+    ):
+        if join_type not in ("inner", "semi", "anti", "outer"):
+            raise EstimationError(f"unsupported join type {join_type!r}")
+        self.join_type = join_type
+        self.histogram = histogram if histogram is not None else FrequencyHistogram()
+        self.sum_counts: int = 0
+        self.t: int = 0
+        self.exact: bool = False
+        self.record_every = record_every
+        self.history: list[tuple[int, float]] = []
+        self._interval = MeanEstimateInterval()
+        if probe_total is None:
+            self._probe_total: TotalProvider | None = None
+        elif callable(probe_total):
+            self._probe_total = probe_total
+        else:
+            total = float(probe_total)
+            self._probe_total = lambda: total
+
+    # -- stream callbacks ---------------------------------------------------------
+
+    def on_build(self, key: object, row: tuple | None = None) -> None:
+        """One build-side tuple: count its key."""
+        if key is not None:
+            self.histogram.add(key)
+
+    def on_probe(self, key: object, row: tuple | None = None) -> None:
+        """One probe-side tuple: refine the estimate."""
+        c = self._contribution(key)
+        self.t += 1
+        self.sum_counts += c
+        self._interval.observe(c)
+        if self.record_every and self.t % self.record_every == 0:
+            self.history.append((self.t, self.current_estimate()))
+
+    def _contribution(self, key: object) -> int:
+        """Output rows this probe tuple generates, under the join type."""
+        count = self.histogram.count(key) if key is not None else 0
+        if self.join_type == "inner":
+            return count
+        if self.join_type == "semi":
+            return 1 if count else 0
+        if self.join_type == "anti":
+            return 0 if count else 1
+        return count if count else 1  # outer
+
+    def finalize_probe(self) -> None:
+        """The probe pass completed: the estimate is now exact."""
+        self.exact = True
+        if self.record_every:
+            self.history.append((self.t, float(self.sum_counts)))
+
+    # -- estimates ---------------------------------------------------------------
+
+    @property
+    def probe_total(self) -> float:
+        if self._probe_total is not None:
+            return float(self._probe_total())
+        # No external knowledge: the tuples seen are all we can assume.
+        return float(max(self.t, 1))
+
+    def current_estimate(self) -> float:
+        """Current D_t (exact once the probe pass has completed)."""
+        if self.exact:
+            return float(self.sum_counts)
+        if self.t == 0:
+            return 0.0
+        return self.sum_counts / self.t * self.probe_total
+
+    def confidence_interval(self, alpha: float = 0.99) -> tuple[float, float]:
+        """Empirical-variance interval for the join size."""
+        if self.exact:
+            exact = float(self.sum_counts)
+            return (exact, exact)
+        total = self.probe_total
+        if self.t == 0:
+            return (0.0, float("inf"))
+        return self._interval.interval(total, alpha, population=total)
+
+    def worst_case_beta(self, alpha: float = 0.99) -> float:
+        """The paper's distribution-free per-value half-width β."""
+        return binomial_beta(self.t, alpha)
+
+    @property
+    def build_distinct(self) -> int:
+        return self.histogram.num_distinct
+
+
+def attach_once_estimator(
+    join: Operator,
+    probe_total: float | TotalProvider | None = None,
+    record_every: int = 0,
+) -> OnceJoinEstimator:
+    """Create an :class:`OnceJoinEstimator` and hook it onto ``join``.
+
+    Supported operators and their (build pass, probe pass) mapping:
+
+    * :class:`HashJoin` — (build pass, probe/partition pass);
+    * :class:`SortMergeJoin` — (left sort, right sort); raises
+      :class:`EstimationError` when either input is presorted, since then
+      no preprocessing pass sees that input and the paper defaults to dne;
+    * :class:`IndexNestedLoopsJoin` — (index build, outer scan).
+
+    The estimator freezes to its exact value when the probe-side pass ends
+    (phase transition), not when the join finishes.
+    """
+    estimator = OnceJoinEstimator(probe_total=probe_total, record_every=record_every)
+
+    if isinstance(join, HashJoin):
+        # Multi-column keys work identically on tuple keys; the hooks pass
+        # the composite key through unchanged.
+        estimator.join_type = join.join_type
+        join.build_hooks.append(estimator.on_build)
+        join.probe_hooks.append(estimator.on_probe)
+        if probe_total is None:
+            estimator._probe_total = resolve_stream_total(join.probe_child)
+        _finalize_on_phase(join, estimator, {"join", "done"})
+        return estimator
+
+    if isinstance(join, SortMergeJoin):
+        if join.left_presorted or join.right_presorted:
+            raise EstimationError(
+                "presorted merge-join inputs have no preprocessing pass; "
+                "use the driver-node estimator instead"
+            )
+        join.left_input_hooks.append(estimator.on_build)
+        join.right_input_hooks.append(estimator.on_probe)
+        if probe_total is None:
+            estimator._probe_total = resolve_stream_total(join.right_child)
+        _finalize_on_phase(join, estimator, {"merge", "done"})
+        return estimator
+
+    if isinstance(join, IndexNestedLoopsJoin):
+        join.inner_input_hooks.append(estimator.on_build)
+        join.outer_hooks.append(estimator.on_probe)
+        if probe_total is None:
+            estimator._probe_total = resolve_stream_total(join.outer_child)
+        _finalize_on_phase(join, estimator, {"done"})
+        return estimator
+
+    raise EstimationError(
+        f"no ONCE estimator for operator {type(join).__name__}; "
+        "nested-loops joins and selections use the driver-node estimator"
+    )
+
+
+def _finalize_on_phase(
+    join: Operator, estimator: OnceJoinEstimator, final_phases: set[str]
+) -> None:
+    def on_phase(_op: Operator, phase: str) -> None:
+        if phase in final_phases and not estimator.exact:
+            estimator.finalize_probe()
+
+    join.phase_hooks.append(on_phase)

@@ -1,0 +1,220 @@
+"""Estimator attachment: one call wires the whole framework onto a plan.
+
+:class:`EstimationManager` walks a physical plan and applies the paper's
+per-operator rules (Section 4.4):
+
+* hash joins — grouped into probe-connected chains, each handled by one
+  :class:`~repro.core.pipeline_estimators.HashJoinChainEstimator`
+  (Algorithm 1); a chain whose shape falls outside the framework degrades
+  join-by-join to binary ONCE estimators, and finally to dne.
+* sort-merge joins — binary ONCE estimator, unless an input is presorted
+  (no preprocessing pass -> dne).
+* index nested-loops joins — binary ONCE estimator over the index build.
+* plain nested-loops joins, selections — no attachment; the progress layer
+  uses the driver-node estimator for them.
+* aggregations — hybrid GEE/MLE estimator; pushed down into the feeding
+  hash-join chain when the group column comes from the chain's base stream.
+
+``estimate_for(op)`` then answers with the best current refined estimate
+(or None when the operator has no attached estimator), and ``is_exact(op)``
+says whether that estimate has converged to the true cardinality.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import EstimationError
+from repro.core.aggregate_estimators import (
+    GroupCountEstimate,
+    attach_distinct_estimator,
+    attach_group_estimator,
+    attach_pushed_down_group_estimator,
+)
+from repro.core.join_estimators import OnceJoinEstimator, attach_once_estimator
+from repro.core.pipeline_estimators import (
+    HashJoinChainEstimator,
+    find_hash_join_chains,
+)
+from repro.executor.operators.aggregate import _AggregateBase
+from repro.executor.operators.base import Operator
+from repro.executor.operators.distinct import Distinct
+from repro.executor.operators.hash_join import HashJoin
+from repro.executor.operators.merge_join import SortMergeJoin
+from repro.executor.operators.nested_loops import IndexNestedLoopsJoin
+from repro.executor.plan import walk
+
+__all__ = ["EstimationManager"]
+
+
+class EstimationManager:
+    """Attaches and indexes all estimators for one plan."""
+
+    def __init__(
+        self,
+        root: Operator,
+        record_every: int = 0,
+        stop_after_sample: bool = False,
+    ):
+        self.root = root
+        self.record_every = record_every
+        self.stop_after_sample = stop_after_sample
+        self.chain_estimators: list[HashJoinChainEstimator] = []
+        self.join_estimators: dict[int, OnceJoinEstimator] = {}
+        self.chain_of_join: dict[int, HashJoinChainEstimator] = {}
+        self.group_estimators: dict[int, GroupCountEstimate] = {}
+        self.fallbacks: list[tuple[Operator, str]] = []
+        self._attach_joins()
+        self._attach_aggregates()
+
+    # -- attachment ---------------------------------------------------------------
+
+    def _attach_joins(self) -> None:
+        for chain in find_hash_join_chains(self.root):
+            try:
+                estimator = self._make_chain_estimator(chain)
+            except EstimationError as exc:
+                self.fallbacks.append((chain[-1], f"chain: {exc}"))
+                self._attach_chain_joins_individually(chain)
+                continue
+            self.chain_estimators.append(estimator)
+            for join in chain:
+                self.chain_of_join[id(join)] = estimator
+
+        for op in walk(self.root):
+            if isinstance(op, (SortMergeJoin, IndexNestedLoopsJoin)):
+                try:
+                    self.join_estimators[id(op)] = attach_once_estimator(
+                        op, record_every=self.record_every
+                    )
+                except EstimationError as exc:
+                    self.fallbacks.append((op, str(exc)))
+
+    def _make_chain_estimator(self, chain: list[HashJoin]) -> HashJoinChainEstimator:
+        if self.stop_after_sample:
+            try:
+                return HashJoinChainEstimator(
+                    chain,
+                    record_every=self.record_every,
+                    stop_after_sample=True,
+                )
+            except EstimationError:
+                # No SampleScan beneath this chain: fall back to refining
+                # through the whole probe pass.
+                pass
+        return HashJoinChainEstimator(chain, record_every=self.record_every)
+
+    def _attach_chain_joins_individually(self, chain: list[HashJoin]) -> None:
+        for join in chain:
+            try:
+                self.join_estimators[id(join)] = attach_once_estimator(
+                    join, record_every=self.record_every
+                )
+            except EstimationError as exc:  # pragma: no cover - defensive
+                self.fallbacks.append((join, str(exc)))
+
+    def _attach_aggregates(self) -> None:
+        for op in walk(self.root):
+            if isinstance(op, Distinct):
+                try:
+                    self.group_estimators[id(op)] = attach_distinct_estimator(
+                        op, record_every=self.record_every
+                    )
+                except EstimationError as exc:  # pragma: no cover - defensive
+                    self.fallbacks.append((op, str(exc)))
+                continue
+            if not isinstance(op, _AggregateBase):
+                continue
+            if not op.group_by:
+                continue  # single global group: nothing to estimate
+            estimate = self._try_push_down(op)
+            if estimate is None:
+                try:
+                    estimate = attach_group_estimator(
+                        op, record_every=self.record_every
+                    )
+                except EstimationError as exc:
+                    self.fallbacks.append((op, str(exc)))
+                    continue
+            self.group_estimators[id(op)] = estimate
+
+    def _try_push_down(self, op: _AggregateBase) -> GroupCountEstimate | None:
+        child = op.child
+        chain = self.chain_of_join.get(id(child))
+        if chain is None or chain.chain[-1] is not child:
+            return None
+        try:
+            return attach_pushed_down_group_estimator(
+                op, chain, record_every=self.record_every
+            )
+        except EstimationError as exc:
+            self.fallbacks.append((op, f"push-down: {exc}"))
+            return None
+
+    # -- queries ----------------------------------------------------------------------
+
+    def estimate_for(self, op: Operator) -> float | None:
+        """Best current refined cardinality estimate, or None if the
+        operator has no attached estimator."""
+        chain = self.chain_of_join.get(id(op))
+        if chain is not None:
+            return chain.current_estimate(op)  # type: ignore[arg-type]
+        join_est = self.join_estimators.get(id(op))
+        if join_est is not None:
+            return join_est.current_estimate()
+        group_est = self.group_estimators.get(id(op))
+        if group_est is not None:
+            return group_est.current_estimate()
+        return None
+
+    def has_started(self, op: Operator) -> bool:
+        """Has the operator's estimator begun observing its stream?
+
+        Until then (e.g. a hash join still in its build phase) the refined
+        estimate is vacuous and callers should fall back to dne/optimizer.
+        """
+        chain = self.chain_of_join.get(id(op))
+        if chain is not None:
+            return chain.exact or chain.t > 0
+        join_est = self.join_estimators.get(id(op))
+        if join_est is not None:
+            return join_est.exact or join_est.t > 0
+        group_est = self.group_estimators.get(id(op))
+        if group_est is not None:
+            return group_est.exact or group_est.hybrid.state.t > 0
+        return False
+
+    def is_exact(self, op: Operator) -> bool:
+        chain = self.chain_of_join.get(id(op))
+        if chain is not None:
+            return chain.exact
+        join_est = self.join_estimators.get(id(op))
+        if join_est is not None:
+            return join_est.exact
+        group_est = self.group_estimators.get(id(op))
+        if group_est is not None:
+            return group_est.exact
+        return False
+
+    def max_multiplicities(self) -> dict[int, float]:
+        """Observed build-side maximum multiplicities per join, for
+        upper-bound refinement of future-pipeline estimates."""
+        result: dict[int, float] = {}
+        for chain in self.chain_estimators:
+            result.update(chain.max_build_multiplicity)
+        for op_id, est in self.join_estimators.items():
+            result[op_id] = float(est.histogram.max_multiplicity())
+        return result
+
+    def describe(self) -> str:
+        """Human-readable attachment report."""
+        lines = []
+        for chain in self.chain_estimators:
+            names = " -> ".join(j.describe() for j in chain.chain)
+            lines.append(f"chain[{chain.k}]: {names}")
+        for op_id, est in self.join_estimators.items():
+            lines.append(f"binary once: join@{op_id}")
+        for op_id, est in self.group_estimators.items():
+            mode = "pushed-down" if est.pushed_down else "direct"
+            lines.append(f"group-count ({mode}): aggregate@{op_id}")
+        for op, reason in self.fallbacks:
+            lines.append(f"dne fallback: {op.describe()} ({reason})")
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Multi-query progress estimation.
+
+Luo et al. extended single-query progress indication to concurrently
+running queries ([19] in the paper's bibliography; mentioned in Section 2).
+This module provides the equivalent for this framework:
+
+* :class:`InterleavedExecutor` — a cooperative round-robin driver that
+  advances several plans a quantum of output rows at a time (the
+  single-threaded stand-in for a multi-backend DBMS, deterministic and
+  fair);
+* :class:`MultiQueryProgressMonitor` — per-query monitors (any estimator
+  mode each) plus aggregate progress under the gnm measure:
+  ``Σ_q C(Q_q) / Σ_q T̂(Q_q)`` — total getnext calls made over total
+  expected across the whole workload.
+
+A query in a long blocking phase still reports progress, because each
+query's tick bus samples from inside its operators; the interleaver's
+quantum only bounds how much *output* a query produces per turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.progress import ProgressMonitor, ProgressSnapshot
+from repro.executor.engine import TickBus
+from repro.executor.operators.base import Operator
+from repro.executor.plan import validate_plan
+
+__all__ = ["InterleavedExecutor", "MultiQueryProgressMonitor", "QueryHandle"]
+
+
+@dataclass
+class QueryHandle:
+    """One query under multi-query monitoring."""
+
+    name: str
+    plan: Operator
+    monitor: ProgressMonitor
+    bus: TickBus
+    row_count: int = 0
+    finished: bool = False
+
+    @property
+    def progress(self) -> float:
+        snap = self.monitor.snapshot()
+        return 1.0 if self.finished else snap.progress
+
+
+@dataclass
+class WorkloadSnapshot:
+    """Aggregate progress over all queries."""
+
+    work_done: float
+    work_total_estimate: float
+    per_query: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def progress(self) -> float:
+        if self.work_total_estimate <= 0:
+            return 0.0
+        return min(self.work_done / self.work_total_estimate, 1.0)
+
+
+class MultiQueryProgressMonitor:
+    """Tracks several queries and aggregates their gnm progress."""
+
+    def __init__(self) -> None:
+        self.queries: list[QueryHandle] = []
+
+    def add_query(
+        self,
+        name: str,
+        plan: Operator,
+        mode: str = "once",
+        tick_interval: int = 1000,
+        catalog=None,
+    ) -> QueryHandle:
+        bus = TickBus(interval=tick_interval)
+        monitor = ProgressMonitor(plan, mode=mode, catalog=catalog, bus=bus)
+        handle = QueryHandle(name=name, plan=plan, monitor=monitor, bus=bus)
+        self.queries.append(handle)
+        return handle
+
+    def snapshot(self) -> WorkloadSnapshot:
+        work_done = 0.0
+        work_total = 0.0
+        per_query: dict[str, float] = {}
+        for handle in self.queries:
+            snap: ProgressSnapshot = handle.monitor.snapshot()
+            work_done += snap.work_done
+            work_total += snap.work_total_estimate
+            per_query[handle.name] = snap.progress
+        return WorkloadSnapshot(
+            work_done=work_done,
+            work_total_estimate=work_total,
+            per_query=per_query,
+        )
+
+
+class InterleavedExecutor:
+    """Cooperative round-robin execution of several plans.
+
+    Each turn pulls at most ``quantum_rows`` output rows from one query's
+    root; queries are rotated until all are exhausted. ``on_turn`` (if
+    given) is invoked after every turn with the monitor — the natural place
+    to refresh a workload dashboard.
+    """
+
+    def __init__(
+        self,
+        monitor: MultiQueryProgressMonitor,
+        quantum_rows: int = 256,
+        on_turn=None,
+    ):
+        if quantum_rows < 1:
+            raise ValueError(f"quantum_rows must be >= 1, got {quantum_rows}")
+        self.monitor = monitor
+        self.quantum_rows = quantum_rows
+        self.on_turn = on_turn
+        self.turns_taken = 0
+
+    def run(self) -> dict[str, int]:
+        """Drive every query to completion; returns per-query row counts."""
+        handles = list(self.monitor.queries)
+        for handle in handles:
+            validate_plan(handle.plan)
+            handle.plan.attach_bus(handle.bus)
+            handle.plan.open()
+        active = [h for h in handles if not h.finished]
+        try:
+            while active:
+                for handle in list(active):
+                    produced = 0
+                    while produced < self.quantum_rows:
+                        row = handle.plan.next()
+                        if row is None:
+                            handle.finished = True
+                            active.remove(handle)
+                            break
+                        handle.row_count += 1
+                        handle.bus.tick()
+                        produced += 1
+                    self.turns_taken += 1
+                    if self.on_turn is not None:
+                        self.on_turn(self.monitor)
+        finally:
+            for handle in handles:
+                handle.plan.close()
+        return {h.name: h.row_count for h in handles}

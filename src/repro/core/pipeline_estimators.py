@@ -1,0 +1,449 @@
+"""Push-down estimation for pipelines of hash joins (Section 4.1.4, Algorithm 1).
+
+Consider a chain of hash joins J0 (lowest) .. J(k-1) (topmost) where each
+join's probe input is the output of the join below and J0's probe input is a
+base tuple stream C. In Volcano order the *upper* builds complete first
+(J(k-1)'s build, then J(k-2)'s, ..., then J0's) and only then does C stream
+through J0's probe pass. The paper pushes the estimation of **every** join
+in the chain down to that single probe pass:
+
+* **Same attribute / Case 1** — Ji's probe key traces to a column of C
+  itself: each C tuple r contributes ``Π_m H_m[r.c_m]`` output tuples at
+  level i, where ``H_m`` are the exact build histograms.
+* **Case 2** — Ji's probe key traces to a column ``a`` of a *lower* build
+  relation B_m: no column of C can probe ``H_i`` directly. Instead, during
+  B_m's build pass (which runs *after* H_i is complete), a derived
+  histogram is built over B_m's own join key x:
+  ``W[x] += H_i[b.a]`` — the paper's "histogram representing the
+  distribution of values in column x of A ⋈ B". At probe time ``W[r.x]``
+  *replaces* both H_m's factor and the folded joins' factors.
+
+This module implements the fully recursive form of Algorithm 1's
+``makeJoinList``: references may nest (a join keyed on the build input of a
+join that is itself keyed on another build input), as in a TPC-H Q8-style
+chain where ``customer`` is probed via ``orders``'s build column and
+``nation`` via ``customer``'s. Every join m owns a family of *versioned
+effective histograms*
+
+    A_m^{(i)} = Σ_{b in B_m, key(b)=v} Π_{l refs B_m, l <= i} A_l^{(i)}[b.a_l]
+
+keyed by its build key, where version ``i`` (a *breakpoint*) includes the
+weight of all joins up to level i that transitively reach B_m. Because
+builds execute top-down, each A_l^{(i)} is complete before B_m streams by,
+so all versions are built in B_m's single build pass. The level-i estimate
+for a probe tuple r is then ``Π over C-keyed joins m <= i of A_m^{(i)}[r.c_m]``,
+and every join's estimate converges to its exact output cardinality by the
+end of C's probe pass — while dne/byte "would not have seen many tuples at
+the upper join" yet.
+
+A chain of length 1 degenerates to the binary ONCE estimator, so
+:class:`HashJoinChainEstimator` is the uniform mechanism the estimation
+manager attaches to every hash join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import EstimationError
+from repro.core.confidence import MeanEstimateInterval
+from repro.core.histogram import FrequencyHistogram
+from repro.core.join_estimators import TotalProvider, resolve_stream_total
+from repro.executor.operators.base import Operator
+from repro.executor.operators.hash_join import HashJoin
+from repro.executor.plan import walk
+
+__all__ = ["HashJoinChainEstimator", "find_hash_join_chains"]
+
+OutputListener = Callable[[object, int], None]
+
+
+def find_hash_join_chains(root: Operator) -> list[list[HashJoin]]:
+    """All maximal probe-edge-connected chains of hash joins, bottom-up.
+
+    A chain is a sequence J0..J(k-1) of :class:`HashJoin` operators where
+    ``J(i+1).probe_child is Ji``. Chains are maximal: the list includes
+    single joins whose probe input is not a hash join. An operator between
+    two joins (even a filter) breaks the chain — the upper join then heads
+    its own chain, estimated against the intermediate stream.
+    """
+    joins = [op for op in walk(root) if isinstance(op, HashJoin)]
+    # Only inner joins compose multiplicatively; semi/anti/outer joins head
+    # and terminate their own (usually singleton) chains.
+
+    def extends_down(join: HashJoin) -> bool:
+        child = join.probe_child
+        return (
+            join.join_type == "inner"
+            and isinstance(child, HashJoin)
+            and child.join_type == "inner"
+        )
+
+    absorbed = {id(j.probe_child) for j in joins if extends_down(j)}
+    chains: list[list[HashJoin]] = []
+    for join in joins:
+        if id(join) in absorbed:
+            continue  # a join above will pick this one up
+        chain: list[HashJoin] = [join]
+        while extends_down(chain[-1]):
+            chain.append(chain[-1].probe_child)  # type: ignore[arg-type]
+        chain.reverse()
+        chains.append(chain)
+    return chains
+
+
+@dataclass(frozen=True)
+class _Provenance:
+    """Where a join's probe key column comes from."""
+
+    kind: str  # "C" (base probe stream) or "B" (a lower join's build input)
+    level: int  # for "B": chain index of the owning join; -1 for "C"
+    index: int  # column index within the C row / the B_level build row
+
+
+class HashJoinChainEstimator:
+    """Estimates the output cardinality of every join in a hash-join chain.
+
+    Parameters
+    ----------
+    chain:
+        Hash joins bottom-up (``chain[0]`` is the lowest; its probe child is
+        the base stream C). Single-element chains are the binary case.
+    probe_total:
+        ``|C|`` — number, provider, or None to resolve from the plan.
+    record_every:
+        If > 0, append ``(t, estimate)`` per level to ``history[level]``
+        every that many C tuples.
+    stop_after_sample:
+        Section 4.4's punctuation behaviour: "for each pipeline, we keep
+        obtaining estimates until the random sample is read ... After this
+        point, we have an approximately correct estimate". When True and
+        the base probe stream is (or sits above) a
+        :class:`~repro.executor.operators.scan.SampleScan`, the estimator
+        freezes when the scan's sample-boundary punctuation fires —
+        trading the exact-at-pass-end guarantee for zero per-tuple work on
+        the bulk of the stream. Default False (refine to exactness).
+
+    Raises
+    ------
+    EstimationError
+        For chain shapes outside the framework: multi-column chain keys or
+        probe keys whose provenance cannot be resolved.
+    """
+
+    def __init__(
+        self,
+        chain: list[HashJoin],
+        probe_total: float | TotalProvider | None = None,
+        record_every: int = 0,
+        stop_after_sample: bool = False,
+    ):
+        if not chain:
+            raise EstimationError("empty hash-join chain")
+        for join in chain:
+            if join.join_type != "inner":
+                raise EstimationError(
+                    f"chain estimation is defined for inner joins; "
+                    f"{join.describe()} is {join.join_type} — use the binary "
+                    "ONCE estimator"
+                )
+        for lower, upper in zip(chain, chain[1:]):
+            if upper.probe_child is not lower:
+                raise EstimationError(
+                    "chain joins must be connected probe-to-output, bottom-up"
+                )
+        self.chain = list(chain)
+        self.k = len(chain)
+        self.base_stream = chain[0].probe_child
+        self._c_schema = self.base_stream.output_schema
+
+        if probe_total is None:
+            self._probe_total: TotalProvider = resolve_stream_total(self.base_stream)
+        elif callable(probe_total):
+            self._probe_total = probe_total
+        else:
+            total = float(probe_total)
+            self._probe_total = lambda: total
+
+        # Resolve each join's probe-key provenance.
+        self.provenance: list[_Provenance] = [self._locate(i) for i in range(self.k)]
+
+        # refs[m]: ascending levels whose probe key references B_m.
+        self.refs: dict[int, list[int]] = {}
+        for i, prov in enumerate(self.provenance):
+            if prov.kind == "B":
+                self.refs.setdefault(prov.level, []).append(i)
+        for levels in self.refs.values():
+            levels.sort()
+
+        # Breakpoints: versions at which join m's effective histogram
+        # changes content. A direct reference at level l adds breakpoint l;
+        # folded joins propagate their own later breakpoints. Computed top
+        # down so referenced (higher) joins are resolved first.
+        self.breakpoints: dict[int, list[int]] = {}
+        for m in range(self.k - 1, -1, -1):
+            bps: set[int] = set()
+            for l in self.refs.get(m, []):
+                bps.add(l)
+                bps.update(self.breakpoints.get(l, []))
+            self.breakpoints[m] = sorted(bps)
+
+        # Base histograms H_m and derived versions W[(m, breakpoint)].
+        self.base_hists: list[FrequencyHistogram] = [
+            FrequencyHistogram() for _ in range(self.k)
+        ]
+        self.derived: dict[tuple[int, int], FrequencyHistogram] = {
+            (m, bp): FrequencyHistogram()
+            for m, bps in self.breakpoints.items()
+            for bp in bps
+        }
+
+        # Per-level probe factor tables: level i multiplies, for each
+        # C-keyed join m <= i, its effective histogram version at i.
+        self._level_factors: list[list[tuple[int, FrequencyHistogram]]] = []
+        for i in range(self.k):
+            factors = [
+                (self.provenance[m].index, self._effective_hist(m, i))
+                for m in range(i + 1)
+                if self.provenance[m].kind == "C"
+            ]
+            self._level_factors.append(factors)
+
+        # Estimation state.
+        self.t: int = 0
+        self.sums: list[int] = [0] * self.k
+        self.exact: bool = False
+        self.frozen: bool = False
+        self.record_every = record_every
+        self.history: list[list[tuple[int, float]]] = [[] for _ in range(self.k)]
+        self._intervals = [MeanEstimateInterval() for _ in range(self.k)]
+        self.output_listeners: list[tuple[int, OutputListener]] = []
+
+        # Punctuation wiring runs first: if it fails (no SampleScan), the
+        # constructor raises before any operator hooks are attached, so the
+        # caller can safely retry construction without the flag.
+        if stop_after_sample:
+            self._wire_sample_punctuation()
+        self._wire_hooks()
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _locate(self, i: int) -> _Provenance:
+        """Provenance of ``chain[i]``'s probe key."""
+        join = self.chain[i]
+        if len(join.probe_keys) != 1 or len(join.build_keys) != 1:
+            raise EstimationError("chain estimation supports single-column join keys")
+        if i == 0:
+            idx = self._c_schema.index_of(join.probe_keys[0])
+            return _Provenance("C", -1, idx)
+        probe_schema = join.probe_child.output_schema
+        offset = probe_schema.index_of(join.probe_keys[0])
+        # out(J_m) = build_m ++ out(J_{m-1}), bottoming out at C: peel build
+        # segments from the join below downwards.
+        for m in range(i - 1, -1, -1):
+            build_len = len(self.chain[m].build_child.output_schema)
+            if offset < build_len:
+                return _Provenance("B", m, offset)
+            offset -= build_len
+        return _Provenance("C", -1, offset)
+
+    def _effective_hist(self, m: int, level: int) -> FrequencyHistogram:
+        """A_m^{(level)}: join m's effective histogram as of ``level``."""
+        applicable = [bp for bp in self.breakpoints.get(m, []) if bp <= level]
+        if applicable:
+            return self.derived[(m, max(applicable))]
+        return self.base_hists[m]
+
+    def _wire_sample_punctuation(self) -> None:
+        """Freeze on the base scan's sample-boundary punctuation."""
+        from repro.executor.operators.scan import SampleScan
+
+        op = self.base_stream
+        while True:
+            if isinstance(op, SampleScan):
+                op.sample_boundary_hooks.append(self._on_sample_boundary)
+                return
+            children = op.children()
+            if len(children) != 1:
+                raise EstimationError(
+                    "stop_after_sample requires a SampleScan-backed base "
+                    f"probe stream; found {op.describe()}"
+                )
+            op = children[0]
+
+    def _on_sample_boundary(self, _scan) -> None:
+        self.frozen = True
+
+    def _wire_hooks(self) -> None:
+        for m, join in enumerate(self.chain):
+            join.build_hooks.append(self._make_build_hook(m))
+        bottom = self.chain[0]
+        if self.k == 1:
+            # Binary-join fast path: the general per-level loop costs ~2x
+            # more per probe tuple; single joins are the common case and
+            # the one the Table 3 overhead experiment measures.
+            bottom.probe_hooks.append(self._on_probe_single)
+        else:
+            bottom.probe_hooks.append(self._on_probe)
+        bottom.phase_hooks.append(self._on_bottom_phase)
+
+    def _on_probe_single(self, key: object, row: tuple) -> None:
+        if self.frozen:
+            return
+        c = self.base_hists[0].counts.get(key, 0)
+        self.t += 1
+        self.sums[0] += c
+        interval = self._intervals[0]
+        interval.count += 1
+        interval.sum_x += c
+        interval.sum_x_sq += c * c
+        if self.record_every and self.t % self.record_every == 0:
+            self.history[0].append((self.t, self.estimate_level(0)))
+        if c and self.output_listeners:
+            for col_idx, listener in self.output_listeners:
+                listener(row[col_idx], c)
+
+    def _make_build_hook(self, m: int):
+        base_hist = self.base_hists[m]
+        breakpoints = self.breakpoints.get(m, [])
+        if not breakpoints:
+            def build_hook(key: object, row: tuple) -> None:
+                if key is not None:
+                    base_hist.add(key)
+            return build_hook
+
+        # For each breakpoint version: which folded joins contribute, read
+        # from which column of this build row, weighted by which (already
+        # complete) effective histogram of theirs.
+        version_specs: list[tuple[FrequencyHistogram, list[tuple[int, FrequencyHistogram]]]] = []
+        for bp in breakpoints:
+            folded = [
+                (self.provenance[l].index, self._effective_hist(l, bp))
+                for l in self.refs.get(m, [])
+                if l <= bp
+            ]
+            version_specs.append((self.derived[(m, bp)], folded))
+
+        def build_hook_with_refs(key: object, row: tuple) -> None:
+            if key is None:
+                return
+            base_hist.add(key)
+            for derived, folded in version_specs:
+                weight = 1
+                for col_idx, hist in folded:
+                    c = hist.counts.get(row[col_idx], 0)
+                    if not c:
+                        weight = 0
+                        break
+                    weight *= c
+                if weight:
+                    derived.add(key, weight)
+
+        return build_hook_with_refs
+
+    # -- probe-pass callbacks --------------------------------------------------------
+
+    def _on_probe(self, key: object, row: tuple) -> None:
+        if self.frozen:
+            return
+        self.t += 1
+        t = self.t
+        top_contrib = 0
+        for i in range(self.k):
+            contrib = 1
+            for col_idx, hist in self._level_factors[i]:
+                c = hist.counts.get(row[col_idx], 0)
+                if not c:
+                    contrib = 0
+                    break
+                contrib *= c
+            self.sums[i] += contrib
+            self._intervals[i].observe(contrib)
+            if i == self.k - 1:
+                top_contrib = contrib
+            if self.record_every and t % self.record_every == 0:
+                self.history[i].append((t, self.estimate_level(i)))
+        if top_contrib and self.output_listeners:
+            for col_idx, listener in self.output_listeners:
+                listener(row[col_idx], top_contrib)
+
+    def _on_bottom_phase(self, _op: Operator, phase: str) -> None:
+        if self.frozen:
+            # The sample-based estimate stands; the pass was not fully
+            # observed, so exactness cannot be claimed.
+            return
+        if phase in ("join", "done") and not self.exact:
+            self.exact = True
+            if self.record_every:
+                for i in range(self.k):
+                    self.history[i].append((self.t, float(self.sums[i])))
+
+    # -- estimates ----------------------------------------------------------------------
+
+    @property
+    def probe_total(self) -> float:
+        return float(self._probe_total())
+
+    def estimate_level(self, level: int) -> float:
+        """Current estimate for ``chain[level]``'s output cardinality."""
+        if self.exact:
+            return float(self.sums[level])
+        if self.t == 0:
+            return 0.0
+        return self.sums[level] / self.t * self.probe_total
+
+    def current_estimate(self, join: HashJoin | None = None) -> float:
+        """Estimate for ``join`` (default: the topmost join)."""
+        level = self.k - 1 if join is None else self._level_of(join)
+        return self.estimate_level(level)
+
+    def confidence_interval(
+        self, join: HashJoin | None = None, alpha: float = 0.99
+    ) -> tuple[float, float]:
+        level = self.k - 1 if join is None else self._level_of(join)
+        if self.exact:
+            exact = float(self.sums[level])
+            return (exact, exact)
+        if self.t == 0:
+            return (0.0, float("inf"))
+        total = self.probe_total
+        return self._intervals[level].interval(total, alpha, population=total)
+
+    def _level_of(self, join: HashJoin) -> int:
+        for i, j in enumerate(self.chain):
+            if j is join:
+                return i
+        raise EstimationError("join is not part of this chain")
+
+    def estimates(self) -> dict[HashJoin, float]:
+        """Estimates for every join in the chain."""
+        return {j: self.estimate_level(i) for i, j in enumerate(self.chain)}
+
+    # -- aggregation push-down ----------------------------------------------------------
+
+    def add_output_listener(self, group_column: str, listener: OutputListener) -> None:
+        """Register a listener over the chain output's value distribution.
+
+        ``listener(value, contribution)`` is invoked per probe tuple with the
+        tuple's ``group_column`` value and the number of chain-output rows
+        the tuple generates. Only columns of the base probe stream are
+        supported (the paper's "aggregation on the same attribute as the
+        join" case); anything else raises :class:`EstimationError` and the
+        caller falls back to estimating at the aggregate itself.
+        """
+        if not self._c_schema.has_column(group_column):
+            raise EstimationError(
+                f"group column {group_column!r} is not part of the chain's "
+                "base probe stream; aggregation push-down unsupported"
+            )
+        self.output_listeners.append((self._c_schema.index_of(group_column), listener))
+
+    @property
+    def max_build_multiplicity(self) -> dict[int, float]:
+        """``id(join) -> max key multiplicity`` of its build histogram,
+        for bound refinement."""
+        return {
+            id(j): float(self.base_hists[i].max_multiplicity())
+            for i, j in enumerate(self.chain)
+        }

@@ -1,0 +1,204 @@
+"""The getnext-model progress monitor (Sections 3 and 4.4).
+
+Progress of query Q is ``gnm = C(Q) / T(Q)``: getnext calls made so far over
+getnext calls the query will make in total. ``C(Q)`` is observed exactly —
+it is the sum of tuples emitted by all operators. ``T(Q)`` must be
+estimated, and the whole framework exists to refine that estimate online:
+
+* **finished pipelines** — ``T(p)`` is known exactly (it already happened);
+* **the currently executing pipeline** — refined by the attached estimators
+  (ONCE chains, merge-join ONCE, GEE/MLE for aggregates) with the
+  driver-node estimator as fallback, or purely by dne / the byte model when
+  the monitor runs in a baseline mode;
+* **pipelines yet to begin** — optimizer estimates clamped into the
+  upper/lower bounds of :class:`~repro.optimizer.bounds.CardinalityBounds`,
+  which tighten as upstream cardinalities become exact (the treatment of
+  future pipelines in Chaudhuri et al. [9]).
+
+The monitor subscribes to the executor's :class:`TickBus`, so snapshots are
+taken *during* blocking phases too — exactly when a progress bar is most
+needed. After the run, :meth:`ratio_errors` replays the snapshots against
+the now-known true total, producing the paper's ratio-error curves
+(R = estimated T' / true T, equivalently actual/estimated progress).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.byte_estimator import ByteModelEstimator
+from repro.core.dne import DriverNodeEstimator
+from repro.core.manager import EstimationManager
+from repro.executor.engine import TickBus
+from repro.executor.operators.base import Operator
+from repro.executor.pipeline import Pipeline, decompose_pipelines
+from repro.optimizer.bounds import CardinalityBounds
+from repro.storage.catalog import Catalog
+
+__all__ = ["ProgressMonitor", "ProgressSnapshot"]
+
+MODES = ("once", "dne", "byte")
+
+
+@dataclass
+class ProgressSnapshot:
+    """One observation of query progress."""
+
+    tick: int
+    timestamp: float
+    work_done: float
+    work_total_estimate: float
+    pipeline_states: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def progress(self) -> float:
+        if self.work_total_estimate <= 0:
+            return 0.0
+        return min(self.work_done / self.work_total_estimate, 1.0)
+
+
+class ProgressMonitor:
+    """Online gnm progress estimation for one plan.
+
+    Parameters
+    ----------
+    root:
+        The physical plan. Operators should carry optimizer estimates
+        (``annotate_plan``); pass ``catalog`` to have the monitor annotate.
+    mode:
+        ``"once"`` — this paper's framework (with dne fallback for
+        operators without a preprocessing pass);
+        ``"dne"`` / ``"byte"`` — the baselines.
+    bus:
+        When given, the monitor subscribes and records a snapshot per bus
+        callback; otherwise call :meth:`snapshot` manually.
+    """
+
+    def __init__(
+        self,
+        root: Operator,
+        mode: str = "once",
+        catalog: Catalog | None = None,
+        bus: TickBus | None = None,
+        record_every: int = 0,
+    ):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.root = root
+        self.mode = mode
+        if catalog is not None:
+            from repro.optimizer.cardinality import annotate_plan
+
+            annotate_plan(root, catalog)
+        self.pipelines: list[Pipeline] = decompose_pipelines(root)
+        self.bounds = CardinalityBounds(root)
+        self.manager: EstimationManager | None = (
+            EstimationManager(root, record_every=record_every)
+            if mode == "once"
+            else None
+        )
+        self._dne = {p.pipeline_id: DriverNodeEstimator(p) for p in self.pipelines}
+        self._byte = (
+            {p.pipeline_id: ByteModelEstimator(p) for p in self.pipelines}
+            if mode == "byte"
+            else {}
+        )
+        self.snapshots: list[ProgressSnapshot] = []
+        self._started = time.perf_counter()
+        if bus is not None:
+            bus.subscribe(self._on_tick)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _on_tick(self, count: int) -> None:
+        self.snapshots.append(self.snapshot(count))
+
+    def snapshot(self, tick: int = -1) -> ProgressSnapshot:
+        """Record current (C(Q), T̂(Q)) and per-pipeline states."""
+        self.refresh_bounds()
+        work_done = 0.0
+        work_total = 0.0
+        states: dict[int, str] = {}
+        for pipeline in self.pipelines:
+            status = self._status(pipeline)
+            states[pipeline.pipeline_id] = status
+            for op in pipeline.operators:
+                k_i = float(op.tuples_emitted)
+                work_done += k_i
+                work_total += self._total_for(op, pipeline, status)
+        snap = ProgressSnapshot(
+            tick=tick,
+            timestamp=time.perf_counter() - self._started,
+            work_done=work_done,
+            work_total_estimate=max(work_total, work_done),
+            pipeline_states=states,
+        )
+        return snap
+
+    def refresh_bounds(self) -> None:
+        maxmult = self.manager.max_multiplicities() if self.manager else None
+        self.bounds.refine(maxmult)
+
+    # -- estimation dispatch ----------------------------------------------------------
+
+    @staticmethod
+    def _status(pipeline: Pipeline) -> str:
+        if pipeline.is_finished:
+            return "finished"
+        if pipeline.has_started:
+            return "current"
+        return "future"
+
+    def _total_for(self, op: Operator, pipeline: Pipeline, status: str) -> float:
+        """Estimated N_i (total getnext calls) for one operator."""
+        k_i = float(op.tuples_emitted)
+        if status == "finished" or op.is_exhausted:
+            return k_i
+        if status == "future":
+            return max(self.bounds.estimate_of(op), k_i)
+        # Currently executing pipeline.
+        if self.mode == "once":
+            assert self.manager is not None
+            est = self.manager.estimate_for(op)
+            if est is not None and self.manager.has_started(op):
+                return max(est, k_i)
+            # Operators without estimators — or whose estimator has not
+            # begun observing — fall back to dne (Section 4.4).
+            return max(self._dne[pipeline.pipeline_id].estimate_for(op), k_i)
+        if self.mode == "byte":
+            return max(self._byte[pipeline.pipeline_id].estimate_for(op), k_i)
+        return max(self._dne[pipeline.pipeline_id].estimate_for(op), k_i)
+
+    # -- post-run analysis -------------------------------------------------------------
+
+    def true_total(self) -> float:
+        """T(Q): only meaningful after the query finished."""
+        return float(
+            sum(op.tuples_emitted for p in self.pipelines for op in p.operators)
+        )
+
+    def ratio_errors(self) -> list[tuple[float, float]]:
+        """``(actual progress, ratio error R)`` per snapshot.
+
+        R = T'(Q)/T(Q) = actual progress / estimated progress; R = 1 is a
+        perfect progress estimate (paper, Section 5.1).
+        """
+        true_total = self.true_total()
+        if true_total <= 0:
+            return []
+        out = []
+        for snap in self.snapshots:
+            actual = snap.work_done / true_total
+            ratio = snap.work_total_estimate / true_total
+            out.append((actual, ratio))
+        return out
+
+    def progress_curve(self) -> list[tuple[float, float]]:
+        """``(actual progress, estimated progress)`` per snapshot."""
+        true_total = self.true_total()
+        if true_total <= 0:
+            return []
+        return [
+            (snap.work_done / true_total, snap.progress) for snap in self.snapshots
+        ]

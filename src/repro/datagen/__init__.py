@@ -1,0 +1,29 @@
+"""Synthetic data generation.
+
+Substitute for the modified TPC-H ``dbgen`` tool the paper uses ([8],
+Chaudhuri & Narasayya's skewed TPC-H generator, further modified by the
+authors "to be able to vary the number of distinct values in a table
+column"). Provides:
+
+* :mod:`repro.datagen.zipf` — seeded Zipfian value streams over an integer
+  domain, with independently permuted rank-to-value maps so two columns can
+  share a skew parameter while disagreeing on *which* values are frequent
+  (the paper's ``C``, ``C¹``, ``C²`` superscript notation).
+* :mod:`repro.datagen.tpch` — TPC-H-shaped tables (nation, region, customer,
+  orders, lineitem, supplier, part, partsupp) at fractional scale factors.
+* :mod:`repro.datagen.skew` — the exact table presets the paper's accuracy
+  experiments use (``C_{z,n}`` customer variants and skewed TPC-H columns).
+"""
+
+from repro.datagen.skew import customer_variant, customer_variant_with_custkey
+from repro.datagen.tpch import TPCH_TABLE_NAMES, generate_tpch
+from repro.datagen.zipf import ZipfDistribution, zipf_pmf
+
+__all__ = [
+    "TPCH_TABLE_NAMES",
+    "ZipfDistribution",
+    "customer_variant",
+    "customer_variant_with_custkey",
+    "generate_tpch",
+    "zipf_pmf",
+]

@@ -1,0 +1,56 @@
+"""Volcano-style query executor with `getnext()` instrumentation.
+
+This package is the substrate standing in for PostgreSQL 8.0: a tree of
+physical operators pulled tuple-at-a-time from the root. Every operator
+counts the tuples it emits (the ``K_i`` of the paper's getnext model), and
+operators with preprocessing phases (hash-join build and probe-partition
+passes, sort input passes, aggregation partition passes) expose per-tuple
+hooks at exactly the points where the paper's estimators attach.
+
+Public surface:
+
+* :mod:`repro.executor.expressions` — scalar expressions / predicates.
+* :mod:`repro.executor.operators` — scan, filter, project, sort, hash join,
+  sort-merge join, nested-loops joins, aggregation, limit, materialize.
+* :mod:`repro.executor.plan` — tree utilities (walk, explain, validate).
+* :mod:`repro.executor.pipeline` — decomposition into pipelines delimited by
+  blocking operators, with driver-node identification.
+* :mod:`repro.executor.engine` — the execution driver and tick bus.
+"""
+
+from repro.executor.engine import ExecutionEngine, ExecutionResult, TickBus
+from repro.executor.expressions import (
+    And,
+    BinaryOp,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.executor.pipeline import Pipeline, decompose_pipelines
+from repro.executor.plan import explain, validate_plan, walk
+
+__all__ = [
+    "And",
+    "BinaryOp",
+    "Col",
+    "Comparison",
+    "Const",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "Expression",
+    "Not",
+    "Or",
+    "Pipeline",
+    "TickBus",
+    "col",
+    "decompose_pipelines",
+    "explain",
+    "lit",
+    "validate_plan",
+    "walk",
+]

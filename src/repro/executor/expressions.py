@@ -1,0 +1,321 @@
+"""Scalar expressions over rows.
+
+Expressions form small immutable trees (:class:`Col`, :class:`Const`,
+comparisons, boolean connectives, arithmetic). Before evaluation an
+expression is *bound* to a schema, producing a plain Python closure
+``row -> value``; binding resolves column names to tuple positions once, so
+per-row evaluation does no name lookups — important because predicates run
+inside the executor's innermost loops.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.storage.schema import Schema
+
+__all__ = [
+    "And",
+    "Between",
+    "BinaryOp",
+    "Col",
+    "Comparison",
+    "Const",
+    "Expression",
+    "InList",
+    "IsNull",
+    "Not",
+    "Or",
+    "col",
+    "lit",
+]
+
+_COMPARISONS: dict[str, Callable] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expression(ABC):
+    """Base class for scalar expressions."""
+
+    @abstractmethod
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        """Compile to a ``row -> value`` closure against ``schema``."""
+
+    @abstractmethod
+    def referenced_columns(self) -> frozenset[str]:
+        """Names of all columns this expression reads."""
+
+    # Operator sugar so predicates read naturally:
+    # col("a") == lit(3), (col("a") > 1) & (col("b") < 2)
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison("=", self, _as_expr(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison("!=", self, _as_expr(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, _as_expr(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, _as_expr(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, _as_expr(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, _as_expr(other))
+
+    def __and__(self, other):
+        return And(self, _as_expr(other))
+
+    def __or__(self, other):
+        return Or(self, _as_expr(other))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __add__(self, other):
+        return BinaryOp("+", self, _as_expr(other))
+
+    def __sub__(self, other):
+        return BinaryOp("-", self, _as_expr(other))
+
+    def __mul__(self, other):
+        return BinaryOp("*", self, _as_expr(other))
+
+    def __truediv__(self, other):
+        return BinaryOp("/", self, _as_expr(other))
+
+    def __hash__(self):
+        return hash(repr(self))
+
+
+def _as_expr(value: object) -> Expression:
+    return value if isinstance(value, Expression) else Const(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Col(Expression):
+    """Reference to a column by (optionally qualified) name."""
+
+    name: str
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        idx = schema.index_of(self.name)
+        return lambda row: row[idx]
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expression):
+    """A literal value."""
+
+    value: object
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        value = self.value
+        return lambda row: value
+
+    def referenced_columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class Comparison(Expression):
+    """Binary comparison (=, !=, <, <=, >, >=)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _COMPARISONS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        fn = _COMPARISONS[self.op]
+        lhs = self.left.bind(schema)
+        rhs = self.right.bind(schema)
+        return lambda row: fn(lhs(row), rhs(row))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryOp(Expression):
+    """Arithmetic expression (+, -, *, /)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in _ARITHMETIC:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        fn = _ARITHMETIC[self.op]
+        lhs = self.left.bind(schema)
+        rhs = self.right.bind(schema)
+        return lambda row: fn(lhs(row), rhs(row))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        lhs = self.left.bind(schema)
+        rhs = self.right.bind(schema)
+        return lambda row: bool(lhs(row)) and bool(rhs(row))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        lhs = self.left.bind(schema)
+        rhs = self.right.bind(schema)
+        return lambda row: bool(lhs(row)) or bool(rhs(row))
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Expression):
+    child: Expression
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        inner = self.child.bind(schema)
+        return lambda row: not inner(row)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.child.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` over literal values."""
+
+    child: Expression
+    values: tuple
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        inner = self.child.bind(schema)
+        members = frozenset(self.values)
+        return lambda row: inner(row) in members
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.child.referenced_columns()
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(v) for v in self.values)
+        return f"({self.child!r} IN ({rendered}))"
+
+
+@dataclass(frozen=True, eq=False)
+class Between(Expression):
+    """``expr BETWEEN low AND high`` (inclusive, SQL semantics)."""
+
+    child: Expression
+    low: Expression
+    high: Expression
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        inner = self.child.bind(schema)
+        low = self.low.bind(schema)
+        high = self.high.bind(schema)
+        return lambda row: low(row) <= inner(row) <= high(row)
+
+    def referenced_columns(self) -> frozenset[str]:
+        return (
+            self.child.referenced_columns()
+            | self.low.referenced_columns()
+            | self.high.referenced_columns()
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.child!r} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    child: Expression
+    negated: bool = False
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        inner = self.child.bind(schema)
+        if self.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+
+    def referenced_columns(self) -> frozenset[str]:
+        return self.child.referenced_columns()
+
+    def __repr__(self) -> str:
+        middle = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.child!r} {middle})"
+
+
+def col(name: str) -> Col:
+    """Shorthand constructor for a column reference."""
+    return Col(name)
+
+
+def lit(value: object) -> Const:
+    """Shorthand constructor for a literal."""
+    return Const(value)

@@ -1,0 +1,172 @@
+"""Operator base class: the Volcano iterator contract plus instrumentation.
+
+Instrumentation is deliberately minimal, matching the paper's "lightweight"
+requirement: each operator maintains a single integer ``tuples_emitted``
+(the ``K_i`` of the getnext model), an optional :class:`TickBus` reference
+that lets the progress monitor sample state *during* long blocking phases,
+and hook lists that are skipped entirely when empty. Running a plan with no
+estimators attached therefore pays almost nothing over a bare executor.
+
+State machine
+-------------
+``CREATED -> OPEN -> EXHAUSTED -> CLOSED``; blocking operators additionally
+publish a free-form ``phase`` string ("build", "partition_probe", "join",
+...) and fire ``phase_hooks`` on transitions so estimators know which pass
+is running.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.common.errors import ExecutorError
+from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.executor.engine import TickBus
+
+__all__ = ["Operator", "OperatorState"]
+
+
+class OperatorState(enum.Enum):
+    CREATED = "created"
+    OPEN = "open"
+    EXHAUSTED = "exhausted"
+    CLOSED = "closed"
+
+
+class Operator(ABC):
+    """Base class for all physical operators.
+
+    Subclasses implement ``_open``, ``_next`` and ``_close`` and declare:
+
+    * ``op_name`` — short name used in EXPLAIN output;
+    * ``blocking_child_indexes`` — children that are fully consumed inside a
+      preprocessing phase and therefore belong to a *different* pipeline
+      (e.g. a hash join's build input);
+    * ``driver_child_index`` — the child that continues the current pipeline
+      (e.g. a hash join's probe input), or ``None`` for leaves.
+    """
+
+    op_name: str = "operator"
+    blocking_child_indexes: tuple[int, ...] = ()
+    driver_child_index: int | None = None
+
+    def __init__(self) -> None:
+        self.tuples_emitted: int = 0
+        self.state: OperatorState = OperatorState.CREATED
+        self._exhausted: bool = False
+        self.phase: str = "init"
+        self.node_id: int | None = None
+        self.bus: "TickBus | None" = None
+        self.phase_hooks: list[Callable[["Operator", str], None]] = []
+        # Optimizer-estimated output cardinality; filled in by the planner
+        # (or by hand in tests) and refined online by estimators.
+        self.estimated_cardinality: float | None = None
+
+    # -- tree structure ------------------------------------------------------
+
+    @abstractmethod
+    def children(self) -> tuple["Operator", ...]:
+        """Child operators, build/outer side first where applicable."""
+
+    @property
+    @abstractmethod
+    def output_schema(self) -> Schema:
+        """Schema of emitted rows."""
+
+    def describe(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return self.op_name
+
+    # -- iterator contract -----------------------------------------------------
+
+    def open(self) -> None:
+        """Open this operator and, by default, its children (pre-order)."""
+        if self.state is OperatorState.OPEN:
+            raise ExecutorError(f"{self.op_name}: open() called twice")
+        if self.state is OperatorState.CLOSED:
+            raise ExecutorError(f"{self.op_name}: open() after close()")
+        for child in self.children():
+            child.open()
+        self.state = OperatorState.OPEN
+        self._open()
+
+    def next(self) -> tuple | None:
+        """Produce the next output row, or None when exhausted."""
+        if self.state is OperatorState.EXHAUSTED:
+            return None
+        if self.state is not OperatorState.OPEN:
+            raise ExecutorError(
+                f"{self.op_name}: next() called in state {self.state.value}"
+            )
+        row = self._next()
+        if row is None:
+            self.state = OperatorState.EXHAUSTED
+            self._exhausted = True
+            self._set_phase("done")
+            return None
+        self.tuples_emitted += 1
+        return row
+
+    def close(self) -> None:
+        if self.state is OperatorState.CLOSED:
+            return
+        self._close()
+        for child in self.children():
+            child.close()
+        self.state = OperatorState.CLOSED
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.next()
+            if row is None:
+                return
+            yield row
+
+    # -- subclass responsibilities --------------------------------------------
+
+    def _open(self) -> None:
+        """Hook for subclass open logic (children are already open)."""
+
+    @abstractmethod
+    def _next(self) -> tuple | None:
+        """Produce one row or None."""
+
+    def _close(self) -> None:
+        """Hook for subclass close logic."""
+
+    # -- instrumentation -------------------------------------------------------
+
+    def _set_phase(self, phase: str) -> None:
+        if phase == self.phase:
+            return
+        self.phase = phase
+        for hook in self.phase_hooks:
+            hook(self, phase)
+
+    def _tick(self) -> None:
+        """Report one unit of internal work to the tick bus, if attached.
+
+        Called once per input row consumed during blocking phases; emitted
+        rows tick via the engine's pull loop instead.
+        """
+        bus = self.bus
+        if bus is not None:
+            bus.tick()
+
+    def attach_bus(self, bus: "TickBus | None") -> None:
+        """Attach a tick bus to this whole subtree."""
+        self.bus = bus
+        for child in self.children():
+            child.attach_bus(bus)
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True once this operator has produced its last row (sticky
+        across close())."""
+        return self._exhausted

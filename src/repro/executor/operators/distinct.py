@@ -1,0 +1,70 @@
+"""DISTINCT operator (duplicate elimination).
+
+Blocking, hash-based: the input pass sees every tuple before any output —
+the same preprocessing window as aggregation, and duplicate elimination *is*
+the distinct-value problem of Section 4.2, so the GEE/MLE estimators attach
+to ``input_hooks`` exactly as they do on a group-by (the whole row is the
+grouping key).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Schema
+
+__all__ = ["Distinct"]
+
+KeyHook = Callable[[object, tuple], None]
+
+
+class Distinct(Operator):
+    """Emit each distinct input row once (first-seen order)."""
+
+    op_name = "distinct"
+    blocking_child_indexes = (0,)
+
+    def __init__(self, child: Operator):
+        super().__init__()
+        self.child = child
+        self.input_hooks: list[KeyHook] = []
+        self.rows_consumed: int = 0
+        self.groups_seen: int = 0
+        self._emit_iter: Iterator[tuple] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    def _open(self) -> None:
+        self._set_phase("init")
+
+    def _next(self) -> tuple | None:
+        if self._emit_iter is None:
+            self._emit_iter = self._consume()
+        return next(self._emit_iter, None)
+
+    def _close(self) -> None:
+        self._emit_iter = None
+
+    def _consume(self) -> Iterator[tuple]:
+        self._set_phase("partition")
+        hooks = self.input_hooks
+        seen: dict[tuple, None] = {}  # dict preserves first-seen order
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            self.rows_consumed += 1
+            if hooks:
+                for hook in hooks:
+                    hook(row, row)
+            seen.setdefault(row, None)
+            self._tick()
+        self.groups_seen = len(seen)
+        self._set_phase("emit")
+        yield from seen

@@ -1,0 +1,64 @@
+"""Selection operator.
+
+Selections have no preprocessing phase, so (Section 4.3) no estimation can
+be pushed below them; the progress framework handles them with the
+driver-node estimator, which "has zero error in expectation" on randomly
+ordered input. The operator itself just evaluates a bound predicate.
+It tracks ``rows_consumed`` so estimators can compute its selectivity
+online.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.executor.expressions import Expression
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Schema
+
+__all__ = ["Filter"]
+
+
+class Filter(Operator):
+    """Emit child rows satisfying a predicate."""
+
+    op_name = "filter"
+    driver_child_index = 0
+
+    def __init__(self, child: Operator, predicate: Expression):
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+        self.rows_consumed: int = 0
+        self._bound: Callable[[tuple], object] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    def describe(self) -> str:
+        return f"filter({self.predicate!r})"
+
+    def _open(self) -> None:
+        self._bound = self.predicate.bind(self.child.output_schema)
+        self._set_phase("filter")
+
+    def _next(self) -> tuple | None:
+        assert self._bound is not None
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            self.rows_consumed += 1
+            if self._bound(row):
+                return row
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Fraction of consumed rows that passed, so far."""
+        if self.rows_consumed == 0:
+            return 1.0
+        return self.tuples_emitted / self.rows_consumed

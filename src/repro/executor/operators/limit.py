@@ -1,0 +1,37 @@
+"""LIMIT operator."""
+
+from __future__ import annotations
+
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Schema
+
+__all__ = ["Limit"]
+
+
+class Limit(Operator):
+    """Emit at most ``n`` child rows."""
+
+    op_name = "limit"
+    driver_child_index = 0
+
+    def __init__(self, child: Operator, n: int):
+        super().__init__()
+        if n < 0:
+            raise ValueError(f"limit must be >= 0, got {n}")
+        self.child = child
+        self.n = n
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    def describe(self) -> str:
+        return f"limit({self.n})"
+
+    def _next(self) -> tuple | None:
+        if self.tuples_emitted >= self.n:
+            return None
+        return self.child.next()

@@ -1,0 +1,56 @@
+"""Materialization: a blocking buffer.
+
+Fully consumes its child before emitting anything. Used to force a pipeline
+break (e.g. to model a blocking boundary between two otherwise-pipelined
+operators) and to let tests snapshot intermediate results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Schema
+
+__all__ = ["Materialize"]
+
+
+class Materialize(Operator):
+    """Buffer all child rows, then emit them in order."""
+
+    op_name = "materialize"
+    blocking_child_indexes = (0,)
+
+    def __init__(self, child: Operator):
+        super().__init__()
+        self.child = child
+        self.rows_consumed: int = 0
+        self._buffer: list[tuple] | None = None
+        self._iter: Iterator[tuple] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    def _next(self) -> tuple | None:
+        if self._iter is None:
+            self._set_phase("materialize")
+            buffer: list[tuple] = []
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                self.rows_consumed += 1
+                buffer.append(row)
+                self._tick()
+            self._buffer = buffer
+            self._set_phase("emit")
+            self._iter = iter(buffer)
+        return next(self._iter, None)
+
+    def _close(self) -> None:
+        self._buffer = None
+        self._iter = None

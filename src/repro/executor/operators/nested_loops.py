@@ -1,0 +1,189 @@
+"""Nested-loops joins.
+
+Section 4.1.3: a plain nested-loops join has *no* preprocessing pass over
+its outer input, so nothing can be pushed down — estimation reduces to the
+driver-node estimator. The inner input, however, *is* fully materialised
+(or indexed) before the outer loop begins; ``inner_input_hooks`` fire
+during that pass, so when a temporary index is built
+(:class:`IndexNestedLoopsJoin`) an exact inner histogram is available and
+the outer pass can be estimated like a hash-join probe pass
+(``outer_hooks``), which is the paper's "in the presence of such
+preprocessing phases, we can construct estimators similar to the
+incremental estimator for hash joins".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.common.errors import PlanError
+from repro.executor.expressions import Expression
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Schema
+
+__all__ = ["IndexNestedLoopsJoin", "NestedLoopsJoin"]
+
+RowHook = Callable[[object, tuple], None]
+
+
+class NestedLoopsJoin(Operator):
+    """Theta join: materialise the inner input, loop it per outer row.
+
+    ``predicate`` is evaluated against the concatenated (outer + inner) row;
+    ``None`` yields the cross product.
+    """
+
+    op_name = "nl_join"
+    blocking_child_indexes = (1,)
+    driver_child_index = 0
+
+    def __init__(self, outer: Operator, inner: Operator, predicate: Expression | None = None):
+        super().__init__()
+        self.outer_child = outer
+        self.inner_child = inner
+        self.predicate = predicate
+        self.inner_input_hooks: list[Callable[[tuple], None]] = []
+        self.outer_hooks: list[Callable[[tuple], None]] = []
+        self.outer_rows_consumed: int = 0
+        self._schema = outer.output_schema.concat(inner.output_schema)
+        self._gen: Iterator[tuple] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.outer_child, self.inner_child)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def describe(self) -> str:
+        pred = repr(self.predicate) if self.predicate is not None else "true"
+        return f"nl_join({pred})"
+
+    def _open(self) -> None:
+        self._set_phase("init")
+        self._gen = self._run()
+
+    def _next(self) -> tuple | None:
+        assert self._gen is not None, "next() before open()"
+        return next(self._gen, None)
+
+    def _close(self) -> None:
+        self._gen = None
+
+    def _materialize_inner(self) -> list[tuple]:
+        self._set_phase("materialize_inner")
+        rows: list[tuple] = []
+        hooks = self.inner_input_hooks
+        while True:
+            row = self.inner_child.next()
+            if row is None:
+                return rows
+            if hooks:
+                for hook in hooks:
+                    hook(row)
+            rows.append(row)
+            self._tick()
+
+    def _run(self) -> Iterator[tuple]:
+        inner_rows = self._materialize_inner()
+        self._set_phase("loop")
+        bound = (
+            self.predicate.bind(self._schema) if self.predicate is not None else None
+        )
+        out_hooks = self.outer_hooks
+        while True:
+            outer_row = self.outer_child.next()
+            if outer_row is None:
+                return
+            self.outer_rows_consumed += 1
+            if out_hooks:
+                for hook in out_hooks:
+                    hook(outer_row)
+            self._tick()
+            for inner_row in inner_rows:
+                joined = outer_row + inner_row
+                if bound is None or bound(joined):
+                    yield joined
+
+
+class IndexNestedLoopsJoin(Operator):
+    """Equijoin via a temporary hash index built on the inner input.
+
+    The index-build pass gives the estimation framework an exact inner
+    histogram; the outer pass then streams in input order, so the ONCE
+    incremental estimator applies exactly as in the hash-join probe pass.
+    """
+
+    op_name = "index_nl_join"
+    blocking_child_indexes = (1,)
+    driver_child_index = 0
+
+    def __init__(self, outer: Operator, inner: Operator, outer_key: str, inner_key: str):
+        super().__init__()
+        if not outer_key or not inner_key:
+            raise PlanError("index NL join requires key columns on both sides")
+        self.outer_child = outer
+        self.inner_child = inner
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self.inner_input_hooks: list[RowHook] = []
+        self.outer_hooks: list[RowHook] = []
+        self.outer_rows_consumed: int = 0
+        self._schema = outer.output_schema.concat(inner.output_schema)
+        self._gen: Iterator[tuple] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.outer_child, self.inner_child)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def describe(self) -> str:
+        return f"index_nl_join({self.outer_key} = {self.inner_key})"
+
+    def _open(self) -> None:
+        self._set_phase("init")
+        self._gen = self._run()
+
+    def _next(self) -> tuple | None:
+        assert self._gen is not None, "next() before open()"
+        return next(self._gen, None)
+
+    def _close(self) -> None:
+        self._gen = None
+
+    def _run(self) -> Iterator[tuple]:
+        self._set_phase("build_index")
+        inner_idx = self.inner_child.output_schema.index_of(self.inner_key)
+        index: dict[object, list[tuple]] = {}
+        hooks = self.inner_input_hooks
+        while True:
+            row = self.inner_child.next()
+            if row is None:
+                break
+            key = row[inner_idx]
+            if hooks:
+                for hook in hooks:
+                    hook(key, row)
+            if key is not None:
+                index.setdefault(key, []).append(row)
+            self._tick()
+
+        self._set_phase("loop")
+        outer_idx = self.outer_child.output_schema.index_of(self.outer_key)
+        out_hooks = self.outer_hooks
+        while True:
+            outer_row = self.outer_child.next()
+            if outer_row is None:
+                return
+            self.outer_rows_consumed += 1
+            key = outer_row[outer_idx]
+            if out_hooks:
+                for hook in out_hooks:
+                    hook(key, outer_row)
+            self._tick()
+            matches = index.get(key)
+            if matches:
+                for inner_row in matches:
+                    yield outer_row + inner_row

@@ -1,0 +1,70 @@
+"""Projection operator (column pruning / computed columns)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.executor.expressions import Col, Expression
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Column, ColumnType, Schema
+
+__all__ = ["Project"]
+
+
+class Project(Operator):
+    """Emit a tuple of expressions per input row.
+
+    ``columns`` may mix plain column names (kept with their type and a
+    fresh qualifier-less identity) and ``(alias, Expression)`` pairs for
+    computed columns (typed FLOAT by default).
+    """
+
+    op_name = "project"
+    driver_child_index = 0
+
+    def __init__(self, child: Operator, columns: Sequence[str | tuple[str, Expression]]):
+        super().__init__()
+        if not columns:
+            raise ValueError("projection needs at least one column")
+        self.child = child
+        self.columns = list(columns)
+        self._schema = self._derive_schema()
+        self._bound: list[Callable[[tuple], object]] | None = None
+
+    def _derive_schema(self) -> Schema:
+        in_schema = self.child.output_schema
+        out: list[Column] = []
+        for spec in self.columns:
+            if isinstance(spec, str):
+                out.append(in_schema.column(spec))
+            else:
+                alias, _expr = spec
+                out.append(Column(alias, ColumnType.FLOAT))
+        return Schema(out)
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._schema
+
+    def describe(self) -> str:
+        names = [s if isinstance(s, str) else s[0] for s in self.columns]
+        return f"project({', '.join(names)})"
+
+    def _open(self) -> None:
+        in_schema = self.child.output_schema
+        bound: list[Callable[[tuple], object]] = []
+        for spec in self.columns:
+            expr = Col(spec) if isinstance(spec, str) else spec[1]
+            bound.append(expr.bind(in_schema))
+        self._bound = bound
+        self._set_phase("project")
+
+    def _next(self) -> tuple | None:
+        assert self._bound is not None
+        row = self.child.next()
+        if row is None:
+            return None
+        return tuple(fn(row) for fn in self._bound)

@@ -1,0 +1,86 @@
+"""Blocking sort operator.
+
+The sort's *input pass* — where every tuple of the input is seen exactly
+once before any output is produced — is the preprocessing phase the paper
+exploits for sort-merge joins (Section 4.1.2): "In the sort operator, every
+tuple of R is seen at least once before any output is produced. Thus, it is
+possible to build a histogram on the join attribute of R." ``input_hooks``
+fire for each input row during that pass.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.executor.operators.base import Operator
+from repro.storage.schema import Schema
+
+__all__ = ["Sort"]
+
+
+class Sort(Operator):
+    """In-memory sort on one or more key columns."""
+
+    op_name = "sort"
+    blocking_child_indexes = (0,)
+
+    def __init__(self, child: Operator, keys: Sequence[str], descending: bool = False):
+        super().__init__()
+        if not keys:
+            raise ValueError("sort needs at least one key column")
+        self.child = child
+        self.keys = tuple(keys)
+        self.descending = descending
+        self.input_hooks: list[Callable[[tuple], None]] = []
+        self.rows_consumed: int = 0
+        self._sorted_iter: Iterator[tuple] | None = None
+
+    def children(self) -> tuple[Operator, ...]:
+        return (self.child,)
+
+    @property
+    def output_schema(self) -> Schema:
+        return self.child.output_schema
+
+    def describe(self) -> str:
+        direction = " desc" if self.descending else ""
+        return f"sort({', '.join(self.keys)}{direction})"
+
+    def _open(self) -> None:
+        self._set_phase("init")
+
+    def _next(self) -> tuple | None:
+        if self._sorted_iter is None:
+            self._consume_and_sort()
+        assert self._sorted_iter is not None
+        return next(self._sorted_iter, None)
+
+    def _consume_and_sort(self) -> None:
+        self._set_phase("read_input")
+        schema = self.child.output_schema
+        key_idxs = [schema.index_of(k) for k in self.keys]
+        hooks = self.input_hooks
+        rows: list[tuple] = []
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            self.rows_consumed += 1
+            if hooks:
+                for hook in hooks:
+                    hook(row)
+            rows.append(row)
+            self._tick()
+        self._set_phase("sort")
+        if len(key_idxs) == 1:
+            idx = key_idxs[0]
+            rows.sort(key=lambda r: r[idx], reverse=self.descending)
+        else:
+            rows.sort(
+                key=lambda r: tuple(r[i] for i in key_idxs), reverse=self.descending
+            )
+        self._set_phase("emit")
+        self._sorted_iter = iter(rows)
+
+    def _close(self) -> None:
+        self._sorted_iter = None

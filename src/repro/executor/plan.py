@@ -1,0 +1,80 @@
+"""Plan-tree utilities: traversal, validation, EXPLAIN-style printing.
+
+The physical operator tree *is* the plan; these helpers assign node ids,
+check structural sanity before execution, and render the tree for humans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.errors import PlanError
+from repro.executor.operators.base import Operator, OperatorState
+
+__all__ = ["explain", "validate_plan", "walk"]
+
+
+def walk(root: Operator) -> Iterator[Operator]:
+    """Pre-order traversal of the plan tree."""
+    stack = [root]
+    while stack:
+        op = stack.pop()
+        yield op
+        stack.extend(reversed(op.children()))
+
+
+def validate_plan(root: Operator) -> list[Operator]:
+    """Validate the tree and assign sequential node ids (pre-order).
+
+    Checks: no operator appears twice (DAGs/sharing are not supported by the
+    Volcano contract here), all operators are freshly created or open,
+    blocking/driver child declarations are in range.
+
+    Returns the operators in pre-order.
+    """
+    seen: set[int] = set()
+    ops: list[Operator] = []
+    for op in walk(root):
+        if id(op) in seen:
+            raise PlanError(f"operator {op.describe()} appears twice in the plan")
+        seen.add(id(op))
+        n_children = len(op.children())
+        for idx in op.blocking_child_indexes:
+            if not 0 <= idx < n_children:
+                raise PlanError(
+                    f"{op.describe()}: blocking child index {idx} out of range"
+                )
+        drv = op.driver_child_index
+        if drv is not None and not 0 <= drv < n_children:
+            raise PlanError(f"{op.describe()}: driver child index {drv} out of range")
+        if op.state is OperatorState.CLOSED:
+            raise PlanError(f"{op.describe()}: operator already closed")
+        ops.append(op)
+    for i, op in enumerate(ops):
+        op.node_id = i
+    return ops
+
+
+def explain(root: Operator, counts: bool = False) -> str:
+    """Render the plan tree as an indented string.
+
+    With ``counts=True``, appends each operator's emitted-tuple count and
+    optimizer estimate — handy when debugging progress estimates.
+    """
+    lines: list[str] = []
+
+    def visit(op: Operator, depth: int) -> None:
+        suffix = ""
+        if counts:
+            est = (
+                f", est={op.estimated_cardinality:.0f}"
+                if op.estimated_cardinality is not None
+                else ""
+            )
+            suffix = f"  [emitted={op.tuples_emitted}{est}]"
+        lines.append("  " * depth + op.describe() + suffix)
+        for child in op.children():
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Optimizer substrate: textbook cardinality estimation, a simple planner,
+and bound-based refinement for future pipelines.
+
+The point of this package is to be *realistically wrong*. The paper's online
+framework exists because optimizer estimates — built on uniformity,
+independence and containment assumptions — can be off by an order of
+magnitude on skewed data (Figure 4(a): "the PostgreSQL cardinality estimates
+are off by about a factor of 13"). :class:`CardinalityModel` applies exactly
+those textbook formulas, so its errors have the same character; the progress
+benchmarks then show the online estimators correcting them.
+"""
+
+from repro.optimizer.bounds import CardinalityBounds, RefinableEstimate
+from repro.optimizer.cardinality import CardinalityModel, annotate_plan
+from repro.optimizer.planner import JoinSpec, Planner
+
+__all__ = [
+    "CardinalityBounds",
+    "CardinalityModel",
+    "JoinSpec",
+    "Planner",
+    "RefinableEstimate",
+    "annotate_plan",
+]

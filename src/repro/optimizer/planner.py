@@ -1,0 +1,126 @@
+"""A simple heuristic planner producing left-deep join pipelines.
+
+Builds the plan shape the paper studies: a chain of hash joins where each
+join's *probe* input is the output of the join below it (Figure 2), fed by
+(sample-first) scans, optionally topped by filters and a group-by. Each
+newly joined table becomes the *build* side — the usual choice when joining
+a fact-table stream against dimension tables — so the whole chain forms one
+probe pipeline with one build pipeline per join.
+
+This is deliberately not a cost-based optimizer: join order is the caller's,
+methods default to hash join, and estimates come from
+:class:`~repro.optimizer.cardinality.CardinalityModel`. It exists so
+workloads and benchmarks can state queries declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+from repro.executor.expressions import Expression
+from repro.executor.operators.aggregate import AggregateSpec, HashAggregate
+from repro.executor.operators.base import Operator
+from repro.executor.operators.filter import Filter
+from repro.executor.operators.hash_join import HashJoin
+from repro.executor.operators.merge_join import SortMergeJoin
+from repro.executor.operators.nested_loops import IndexNestedLoopsJoin
+from repro.executor.operators.scan import SampleScan, SeqScan
+from repro.optimizer.cardinality import annotate_plan
+from repro.storage.catalog import Catalog
+
+__all__ = ["JoinSpec", "Planner"]
+
+_METHODS = ("hash", "merge", "index_nl", "auto")
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Join one more table onto the current pipeline.
+
+    ``probe_key`` is a column of the pipeline built so far; ``build_key`` a
+    column of ``table`` (defaults to ``probe_key``'s bare name). ``where``
+    optionally filters the new table's scan before the join.
+    """
+
+    table: str
+    probe_key: str
+    build_key: str | None = None
+    method: str = "hash"
+    where: Expression | None = None
+
+    def __post_init__(self):
+        if self.method not in _METHODS:
+            raise PlanError(f"unknown join method {self.method!r}")
+
+    @property
+    def resolved_build_key(self) -> str:
+        return self.build_key or self.probe_key.split(".")[-1]
+
+
+class Planner:
+    """Assembles physical plans over a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        sample_fraction: float = 0.0,
+        seed: int = 0,
+        num_partitions: int = 8,
+    ):
+        self.catalog = catalog
+        self.sample_fraction = sample_fraction
+        self.seed = seed
+        self.num_partitions = num_partitions
+
+    def scan(self, table_name: str, where: Expression | None = None) -> Operator:
+        """Scan a table (sample-first when the planner samples), with an
+        optional pushed-down filter."""
+        table = self.catalog.table(table_name)
+        if self.sample_fraction > 0.0:
+            op: Operator = SampleScan(table, self.sample_fraction, self.seed)
+        else:
+            op = SeqScan(table)
+        if where is not None:
+            op = Filter(op, where)
+        return op
+
+    def build(
+        self,
+        base_table: str,
+        joins: list[JoinSpec] | tuple[JoinSpec, ...] = (),
+        where: Expression | None = None,
+        group_by: list[str] | tuple[str, ...] = (),
+        aggregates: list[AggregateSpec] | tuple[AggregateSpec, ...] = (),
+        annotate: bool = True,
+    ) -> Operator:
+        """Build scan -> joins -> [group by] and annotate estimates."""
+        plan = self.scan(base_table, where)
+        for spec in joins:
+            plan = self._join(plan, spec)
+        if group_by or aggregates:
+            plan = HashAggregate(plan, tuple(group_by), tuple(aggregates))
+        if annotate:
+            annotate_plan(plan, self.catalog)
+        return plan
+
+    def _join(self, probe: Operator, spec: JoinSpec) -> Operator:
+        build = self.scan(spec.table, spec.where)
+        build_key = spec.resolved_build_key
+        if not probe.output_schema.has_column(spec.probe_key):
+            raise PlanError(
+                f"probe key {spec.probe_key!r} not in pipeline schema "
+                f"{probe.output_schema!r}"
+            )
+        if not build.output_schema.has_column(build_key):
+            raise PlanError(
+                f"build key {build_key!r} not in table {spec.table!r}"
+            )
+        method = "hash" if spec.method == "auto" else spec.method
+        if method == "hash":
+            return HashJoin(
+                build, probe, build_key, spec.probe_key, self.num_partitions
+            )
+        if method == "merge":
+            return SortMergeJoin(build, probe, build_key, spec.probe_key)
+        return IndexNestedLoopsJoin(probe, build, spec.probe_key, build_key)

@@ -1,0 +1,60 @@
+"""A small SQL front-end over the executor.
+
+The paper's system sits inside a SQL engine; this package provides the
+missing user-facing surface for the reproduction: a lexer, a recursive
+descent parser for a practical SELECT subset, and a compiler from the AST
+to instrumented physical plans — so a progress-indicated query is one call:
+
+    from repro.sql import run_query
+    result = run_query(catalog, \"\"\"
+        SELECT n.name, COUNT(*) AS orders, SUM(o.totalprice) AS revenue
+        FROM orders o
+        JOIN customer c ON o.custkey = c.custkey
+        JOIN nation n ON c.nationkey = n.nationkey
+        WHERE o.totalprice > 1000
+        GROUP BY n.name
+        ORDER BY revenue DESC
+        LIMIT 10
+    \"\"\", progress="once")
+    print(result.rows, result.monitor.snapshots[-1].progress)
+
+Supported grammar (see :mod:`repro.sql.parser` for the exact rules):
+``SELECT`` projections (columns, ``*``, aggregates with aliases),
+``FROM`` with aliases, ``[INNER|LEFT [OUTER]|SEMI|ANTI] JOIN .. ON`` equi
+conditions, ``WHERE`` boolean expressions over comparisons,
+``GROUP BY``, ``ORDER BY .. [ASC|DESC]``, ``LIMIT``.
+"""
+
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    StarItem,
+    TableRef,
+)
+from repro.sql.compiler import CompiledQuery, compile_select, run_query
+from repro.sql.lexer import SqlLexError, Token, tokenize
+from repro.sql.parser import SqlParseError, parse_select
+from repro.sql.render import render_expression, render_select
+
+__all__ = [
+    "AggregateItem",
+    "ColumnItem",
+    "CompiledQuery",
+    "JoinClause",
+    "OrderItem",
+    "SelectStatement",
+    "SqlLexError",
+    "SqlParseError",
+    "StarItem",
+    "TableRef",
+    "Token",
+    "compile_select",
+    "parse_select",
+    "render_expression",
+    "render_select",
+    "run_query",
+    "tokenize",
+]

@@ -1,0 +1,138 @@
+"""SQL tokenizer.
+
+Produces a flat token stream: keywords (case-insensitive), identifiers
+(optionally dotted handled at parse level), numeric and string literals,
+operators, and punctuation. Line/column positions are tracked for error
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+__all__ = ["SqlLexError", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "AS",
+        "JOIN", "INNER", "LEFT", "OUTER", "SEMI", "ANTI", "ON", "AND", "OR",
+        "DISTINCT", "HAVING", "IN", "IS", "BETWEEN",
+        "NOT", "ASC", "DESC", "COUNT", "SUM", "MIN", "MAX", "AVG", "NULL",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", ".": "DOT", ";": "SEMI"}
+
+
+class SqlLexError(ReproError):
+    """The input contains a character sequence outside the SQL subset."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``OP``, ``LPAREN``, ``RPAREN``, ``COMMA``, ``DOT``, ``SEMI``, ``EOF``.
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; the result always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line, col = 1, 1
+    n = len(sql)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        if sql.startswith("--", i):  # line comment
+            end = sql.find("\n", i)
+            end = n if end == -1 else end
+            advance(sql[i:end])
+            i = end
+            continue
+        start_line, start_col = line, col
+        if ch == "'":
+            end = i + 1
+            while end < n and sql[end] != "'":
+                end += 1
+            if end >= n:
+                raise SqlLexError(f"unterminated string literal at {start_line}:{start_col}")
+            text = sql[i + 1 : end]
+            tokens.append(Token("STRING", text, start_line, start_col))
+            advance(sql[i : end + 1])
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            while end < n and (sql[end].isdigit() or (sql[end] == "." and not seen_dot)):
+                if sql[end] == ".":
+                    # A dot not followed by a digit is punctuation (alias.column).
+                    if end + 1 >= n or not sql[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            text = sql[i:end]
+            tokens.append(Token("NUMBER", text, start_line, start_col))
+            advance(text)
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            text = sql[i:end]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start_line, start_col))
+            else:
+                tokens.append(Token("IDENT", text, start_line, start_col))
+            advance(text)
+            i = end
+            continue
+        matched_op = next((op for op in _OPERATORS if sql.startswith(op, i)), None)
+        if matched_op is not None:
+            tokens.append(Token("OP", matched_op, start_line, start_col))
+            advance(matched_op)
+            i += len(matched_op)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, start_line, start_col))
+            advance(ch)
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at {start_line}:{start_col}")
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,318 @@
+"""Recursive-descent parser for the SELECT subset.
+
+Grammar (EBNF-ish)::
+
+    select     := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                  [GROUP BY columns] [HAVING expr]
+                  [ORDER BY order_items] [LIMIT number] [;]
+    items      := '*' | item (',' item)*
+    item       := agg_func '(' ('*' | column) ')' [AS ident]
+                | column [AS ident]
+    table_ref  := ident [AS? ident]
+    join       := [INNER | LEFT [OUTER] | SEMI | ANTI] JOIN table_ref
+                  ON column '=' column
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | primary
+    primary    := '(' expr ')' | predicate
+    predicate  := operand ( cmp_op operand
+                          | IN '(' literal (',' literal)* ')'
+                          | BETWEEN operand AND operand
+                          | IS [NOT] NULL )
+    operand    := column | literal
+    column     := ident ['.' ident]
+
+WHERE expressions compile directly to
+:class:`repro.executor.expressions.Expression` trees.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.executor.expressions import (
+    And,
+    Between,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    StarItem,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["SqlParseError", "parse_select"]
+
+_AGG_FUNCS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+_CMP_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class SqlParseError(ReproError):
+    """The statement does not match the supported SELECT subset."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> SqlParseError:
+        tok = self.current
+        where = f"line {tok.line}, column {tok.column}"
+        got = tok.value or tok.kind
+        return SqlParseError(f"{message} (got {got!r} at {where})")
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.current.matches(kind, value):
+            tok = self.current
+            self.pos += 1
+            return tok
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            want = value or kind
+            raise self.error(f"expected {want!r}")
+        return tok
+
+    def accept_keyword(self, *words: str) -> bool:
+        saved = self.pos
+        for word in words:
+            if self.accept("KEYWORD", word) is None:
+                self.pos = saved
+                return False
+        return True
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self.expect("KEYWORD", "SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = self.parse_items()
+        self.expect("KEYWORD", "FROM")
+        base = self.parse_table_ref()
+        joins = []
+        while True:
+            join = self.try_parse_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+        group_by: list[str] = []
+        if self.accept_keyword("GROUP", "BY"):
+            group_by = self.parse_column_list()
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("ORDER", "BY"):
+            order_by = self.parse_order_items()
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            tok = self.expect("NUMBER")
+            limit = int(float(tok.value))
+        self.accept("SEMI")
+        if not self.current.matches("EOF"):
+            raise self.error("unexpected trailing input")
+        return SelectStatement(
+            items=items,
+            distinct=distinct,
+            base_table=base,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def parse_items(self) -> list:
+        if self.accept("OP", "*"):
+            return [StarItem()]
+        items = [self.parse_item()]
+        while self.accept("COMMA"):
+            items.append(self.parse_item())
+        return items
+
+    def parse_item(self):
+        tok = self.current
+        if tok.kind == "KEYWORD" and tok.value in _AGG_FUNCS:
+            self.pos += 1
+            self.expect("LPAREN")
+            func = tok.value.lower()
+            if self.accept("OP", "*"):
+                if tok.value != "COUNT":
+                    raise self.error(f"{tok.value}(*) is not valid")
+                column = None
+            else:
+                if self.accept_keyword("DISTINCT"):
+                    if tok.value != "COUNT":
+                        raise self.error("DISTINCT aggregates support COUNT only")
+                    func = "count_distinct"
+                column = self.parse_column()
+            self.expect("RPAREN")
+            alias = self.parse_optional_alias()
+            return AggregateItem(func, column, alias)
+        column = self.parse_column()
+        alias = self.parse_optional_alias()
+        return ColumnItem(column, alias)
+
+    def parse_optional_alias(self) -> str | None:
+        if self.accept_keyword("AS"):
+            return self.expect("IDENT").value
+        tok = self.accept("IDENT")
+        return tok.value if tok else None
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect("IDENT").value
+        alias = self.parse_optional_alias()
+        return TableRef(name, alias)
+
+    def try_parse_join(self) -> JoinClause | None:
+        kind = "inner"
+        saved = self.pos
+        if self.accept_keyword("INNER"):
+            kind = "inner"
+        elif self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            kind = "outer"
+        elif self.accept_keyword("SEMI"):
+            kind = "semi"
+        elif self.accept_keyword("ANTI"):
+            kind = "anti"
+        if not self.accept_keyword("JOIN"):
+            self.pos = saved
+            return None
+        table = self.parse_table_ref()
+        self.expect("KEYWORD", "ON")
+        left = self.parse_column()
+        self.expect("OP", "=")
+        right = self.parse_column()
+        return JoinClause(table, left, right, kind)
+
+    def parse_column_list(self) -> list[str]:
+        columns = [self.parse_column()]
+        while self.accept("COMMA"):
+            columns.append(self.parse_column())
+        return columns
+
+    def parse_order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            column = self.parse_column()
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            items.append(OrderItem(column, descending))
+            if not self.accept("COMMA"):
+                return items
+
+    def parse_column(self) -> str:
+        first = self.expect("IDENT").value
+        if self.accept("DOT"):
+            second = self.expect("IDENT").value
+            return f"{first}.{second}"
+        return first
+
+    # -- WHERE expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        expr = self.parse_and()
+        while self.accept_keyword("OR"):
+            expr = Or(expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> Expression:
+        expr = self.parse_not()
+        while self.accept_keyword("AND"):
+            expr = And(expr, self.parse_not())
+        return expr
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        if self.accept("LPAREN"):
+            expr = self.parse_expr()
+            self.expect("RPAREN")
+            return expr
+        left = self.parse_operand()
+        if self.accept_keyword("IN"):
+            self.expect("LPAREN")
+            values = [self.parse_literal_value()]
+            while self.accept("COMMA"):
+                values.append(self.parse_literal_value())
+            self.expect("RPAREN")
+            return InList(left, tuple(values))
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_operand()
+            self.expect("KEYWORD", "AND")
+            high = self.parse_operand()
+            return Between(left, low, high)
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT")
+            self.expect("KEYWORD", "NULL")
+            return IsNull(left, negated=negated)
+        op_tok = self.expect("OP")
+        if op_tok.value not in _CMP_OPS:
+            raise self.error("expected a comparison operator")
+        right = self.parse_operand()
+        return Comparison(op_tok.value, left, right)
+
+    def parse_literal_value(self):
+        operand = self.parse_operand()
+        if not isinstance(operand, Const):
+            raise self.error("IN lists accept literal values only")
+        return operand.value
+
+    def parse_operand(self) -> Expression:
+        tok = self.current
+        if tok.kind == "NUMBER":
+            self.pos += 1
+            text = tok.value
+            return Const(float(text) if "." in text else int(text))
+        if tok.kind == "STRING":
+            self.pos += 1
+            return Const(tok.value)
+        if tok.matches("KEYWORD", "NULL"):
+            self.pos += 1
+            return Const(None)
+        if tok.kind == "OP" and tok.value == "-":
+            self.pos += 1
+            num = self.expect("NUMBER")
+            text = num.value
+            return Const(-(float(text) if "." in text else int(text)))
+        return Col(self.parse_column())
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).parse()

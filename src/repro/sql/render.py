@@ -1,0 +1,129 @@
+"""Render ASTs back to SQL text.
+
+The inverse of :func:`repro.sql.parser.parse_select` for the supported
+subset: ``parse_select(render_select(stmt))`` reproduces ``stmt``. Used by
+EXPLAIN-style tooling and the parser round-trip property tests.
+"""
+
+from __future__ import annotations
+
+from repro.executor.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    StarItem,
+)
+
+__all__ = ["render_expression", "render_select"]
+
+
+def render_expression(expr: Expression) -> str:
+    """SQL text for a WHERE/HAVING expression tree."""
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Const):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, str):
+            return f"'{value}'"
+        return repr(value)
+    if isinstance(expr, Comparison):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, And):
+        return f"({render_expression(expr.left)} AND {render_expression(expr.right)})"
+    if isinstance(expr, Or):
+        return f"({render_expression(expr.left)} OR {render_expression(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(NOT {render_expression(expr.child)})"
+    if isinstance(expr, InList):
+        rendered = ", ".join(render_expression(Const(v)) for v in expr.values)
+        return f"({render_expression(expr.child)} IN ({rendered}))"
+    if isinstance(expr, Between):
+        return (
+            f"({render_expression(expr.child)} BETWEEN "
+            f"{render_expression(expr.low)} AND {render_expression(expr.high)})"
+        )
+    if isinstance(expr, IsNull):
+        middle = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({render_expression(expr.child)} {middle})"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    raise TypeError(f"cannot render expression node {type(expr).__name__}")
+
+
+def _render_item(item) -> str:
+    if isinstance(item, StarItem):
+        return "*"
+    if isinstance(item, AggregateItem):
+        if item.func == "count_distinct":
+            text = f"COUNT(DISTINCT {item.column})"
+        else:
+            target = "*" if item.column is None else item.column
+            text = f"{item.func.upper()}({target})"
+        return f"{text} AS {item.alias}" if item.alias else text
+    assert isinstance(item, ColumnItem)
+    return f"{item.column} AS {item.alias}" if item.alias else item.column
+
+
+def _render_join(join: JoinClause) -> str:
+    prefix = {
+        "inner": "JOIN",
+        "outer": "LEFT OUTER JOIN",
+        "semi": "SEMI JOIN",
+        "anti": "ANTI JOIN",
+    }[join.kind]
+    table = join.table.name
+    if join.table.alias:
+        table += f" AS {join.table.alias}"
+    return f"{prefix} {table} ON {join.left_column} = {join.right_column}"
+
+
+def render_select(stmt: SelectStatement) -> str:
+    """SQL text for a parsed/constructed SELECT statement."""
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_item(i) for i in stmt.items))
+    table = stmt.base_table.name
+    if stmt.base_table.alias:
+        table += f" AS {stmt.base_table.alias}"
+    parts.append(f"FROM {table}")
+    for join in stmt.joins:
+        parts.append(_render_join(join))
+    if stmt.where is not None:
+        parts.append(f"WHERE {render_expression(stmt.where)}")
+    if stmt.group_by:
+        parts.append("GROUP BY " + ", ".join(stmt.group_by))
+    if stmt.having is not None:
+        parts.append(f"HAVING {render_expression(stmt.having)}")
+    if stmt.order_by:
+        rendered = ", ".join(
+            f"{o.column} DESC" if o.descending else f"{o.column} ASC"
+            for o in stmt.order_by
+        )
+        parts.append("ORDER BY " + rendered)
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    return " ".join(parts)

@@ -1,0 +1,28 @@
+"""Storage substrate: schemas, block-structured tables, catalog, statistics.
+
+The paper's prototype lives inside PostgreSQL; this package supplies the
+equivalent storage layer for the pure-Python executor. Tables are row stores
+organised into fixed-size blocks so that the block-level random sampling the
+paper relies on ("table scans ... first read in a precomputed block-level
+random sample of the base tables before scanning the rest") has a faithful
+physical analogue.
+"""
+
+from repro.storage.catalog import Catalog
+from repro.storage.sampling import BlockSample, plan_block_sample
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.statistics import ColumnStatistics, TableStatistics, build_statistics
+from repro.storage.table import Table
+
+__all__ = [
+    "BlockSample",
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "TableStatistics",
+    "build_statistics",
+    "plan_block_sample",
+]

@@ -1,0 +1,187 @@
+"""Base-table statistics, as a query optimizer would keep in its catalog.
+
+The paper assumes "knowledge of the size of base tables, which is usually
+available in the system catalogs" and optionally "histograms of the attribute
+value distribution of single base table attributes". These statistics feed
+the optimizer cardinality model (:mod:`repro.optimizer.cardinality`), whose
+*textbook* estimates (uniformity + independence + containment) are exactly
+what the paper's online estimators correct at run time — e.g. the 13x
+misestimate of Figure 4(a) arises from the standard
+``|R|·|S| / max(d_A, d_B)`` equijoin formula applied to skewed data.
+
+Statistics can be built exactly or from a row-level sample (``sample_rows``),
+mimicking ANALYZE-style collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.rng import make_rng
+from repro.storage.schema import ColumnType
+from repro.storage.table import Table
+
+__all__ = ["ColumnStatistics", "TableStatistics", "build_statistics"]
+
+_HISTOGRAM_BUCKETS = 32
+_NUM_MCVS = 8
+
+
+@dataclass
+class ColumnStatistics:
+    """Optimizer-visible statistics for one column.
+
+    ``histogram`` is equi-width over ``[min_value, max_value]`` (numeric
+    columns only) and stores per-bucket row counts; ``mcvs`` are the most
+    common values with their frequencies, as PostgreSQL keeps.
+    """
+
+    column: str
+    n_distinct: int
+    min_value: object | None = None
+    max_value: object | None = None
+    histogram: tuple[int, ...] = ()
+    mcvs: tuple[tuple[object, int], ...] = ()
+    sampled: bool = False
+    row_count: int = 0
+
+    def selectivity_eq(self, value: object) -> float:
+        """Estimated selectivity of ``column = value``."""
+        if self.row_count == 0:
+            return 0.0
+        for mcv, count in self.mcvs:
+            if mcv == value:
+                return count / self.row_count
+        if self.n_distinct <= 0:
+            return 0.0
+        # Rows not covered by MCVs, spread uniformly over remaining values.
+        mcv_rows = sum(c for _, c in self.mcvs)
+        rest_distinct = max(self.n_distinct - len(self.mcvs), 1)
+        return max(self.row_count - mcv_rows, 0) / rest_distinct / self.row_count
+
+    def selectivity_range(self, low: float | None, high: float | None) -> float:
+        """Estimated selectivity of ``low <= column < high`` via the
+        equi-width histogram (numeric columns); falls back to 1/3 heuristics
+        when no histogram exists, as real optimizers do for default
+        selectivity."""
+        if not self.histogram or self.min_value is None or self.max_value is None:
+            return 1.0 / 3.0
+        lo_bound = float(self.min_value)
+        hi_bound = float(self.max_value)
+        if hi_bound <= lo_bound:
+            return 1.0
+        low = lo_bound if low is None else max(float(low), lo_bound)
+        high = hi_bound + 1e-12 if high is None else min(float(high), hi_bound + 1e-12)
+        if high <= low:
+            return 0.0
+        total = sum(self.histogram) or 1
+        width = (hi_bound - lo_bound) / len(self.histogram)
+        covered = 0.0
+        for b, count in enumerate(self.histogram):
+            b_lo = lo_bound + b * width
+            b_hi = b_lo + width
+            overlap = max(0.0, min(high, b_hi) - max(low, b_lo))
+            if overlap > 0.0 and width > 0.0:
+                covered += count * (overlap / width)
+        return min(covered / total, 1.0)
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a whole table."""
+
+    table_name: str
+    row_count: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        bare = name.split(".")[-1]
+        try:
+            return self.columns[bare]
+        except KeyError:
+            raise KeyError(
+                f"no statistics for column {name!r} of {self.table_name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.split(".")[-1] in self.columns
+
+
+def build_statistics(
+    table: Table,
+    columns: Iterable[str] | None = None,
+    sample_rows: int | None = None,
+    seed: int = 0,
+) -> TableStatistics:
+    """Collect statistics for ``table``.
+
+    Parameters
+    ----------
+    columns:
+        Columns to analyse (default: all).
+    sample_rows:
+        If given, statistics are computed from a row-level random sample of
+        this size and scaled up, which introduces realistic estimation noise.
+        Distinct counts are scaled with the first-order jackknife-style
+        ``d * n / sample`` cap, matching how sampled ANALYZE misjudges
+        distinct counts.
+    """
+    names = list(columns) if columns is not None else table.schema.names(qualified=False)
+    row_count = table.num_rows
+    if sample_rows is not None and 0 < sample_rows < row_count:
+        rng = make_rng(seed, "stats-sample", table.name)
+        idx = rng.choice(row_count, size=sample_rows, replace=False)
+        rows = [table.rows()[i] for i in idx]
+        scale = row_count / sample_rows
+        sampled = True
+    else:
+        rows = list(table.rows())
+        scale = 1.0
+        sampled = False
+
+    stats = TableStatistics(table.name, row_count)
+    for name in names:
+        col_idx = table.schema.index_of(name)
+        ctype = table.schema.columns[col_idx].ctype
+        counts: dict[object, int] = {}
+        for r in rows:
+            v = r[col_idx]
+            counts[v] = counts.get(v, 0) + 1
+        n_distinct = len(counts)
+        if sampled:
+            # Scale singleton-heavy distinct counts up, capped by row count.
+            n_distinct = min(int(n_distinct * scale ** 0.5) or n_distinct, row_count)
+        mcvs = tuple(
+            (v, int(c * scale))
+            for v, c in sorted(counts.items(), key=lambda kv: -kv[1])[:_NUM_MCVS]
+        )
+        histogram: tuple[int, ...] = ()
+        min_v = max_v = None
+        if counts and ctype in (ColumnType.INT, ColumnType.FLOAT):
+            min_v = min(counts)
+            max_v = max(counts)
+            if max_v > min_v:
+                buckets = [0] * _HISTOGRAM_BUCKETS
+                span = float(max_v) - float(min_v)
+                for v, c in counts.items():
+                    b = min(
+                        int((float(v) - float(min_v)) / span * _HISTOGRAM_BUCKETS),
+                        _HISTOGRAM_BUCKETS - 1,
+                    )
+                    buckets[b] += c
+                histogram = tuple(int(b * scale) for b in buckets)
+        elif counts:
+            min_v = min(counts, key=str)
+            max_v = max(counts, key=str)
+        stats.columns[name] = ColumnStatistics(
+            column=name,
+            n_distinct=n_distinct,
+            min_value=min_v,
+            max_value=max_v,
+            histogram=histogram,
+            mcvs=mcvs,
+            sampled=sampled,
+            row_count=row_count,
+        )
+    return stats

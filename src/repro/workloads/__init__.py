@@ -1,0 +1,21 @@
+"""Canned workloads: the exact query/data setups of the paper's evaluation."""
+
+from repro.workloads.queries import (
+    PipelineSetup,
+    QuerySetup,
+    paper_binary_join,
+    paper_pipeline_diff_attr,
+    paper_pipeline_same_attr,
+    paper_pkfk_join_with_selection,
+    tpch_q8_like,
+)
+
+__all__ = [
+    "PipelineSetup",
+    "QuerySetup",
+    "paper_binary_join",
+    "paper_pipeline_diff_attr",
+    "paper_pipeline_same_attr",
+    "paper_pkfk_join_with_selection",
+    "tpch_q8_like",
+]

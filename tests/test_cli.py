@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+class TestArgParsing:
+    def test_query_defaults(self):
+        args = build_arg_parser().parse_args(["query", "SELECT * FROM nation"])
+        assert args.command == "query"
+        assert args.mode == "once"
+        assert args.sf == 0.01
+
+    def test_global_options(self):
+        args = build_arg_parser().parse_args(
+            ["--sf", "0.5", "--skew", "2", "demo"]
+        )
+        assert args.sf == 0.5
+        assert args.skew == 2.0
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["query", "SELECT 1", "--mode", "magic"])
+
+
+class TestCommands:
+    def test_query_end_to_end(self, capsys):
+        code = main(
+            [
+                "--sf", "0.001", "--tick", "200",
+                "query",
+                "SELECT regionkey, COUNT(*) AS n FROM nation GROUP BY regionkey",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regionkey" in out.splitlines()[0]
+        assert len(out.splitlines()) >= 2
+
+    def test_query_max_rows_truncation(self, capsys):
+        code = main(
+            [
+                "--sf", "0.001",
+                "query", "SELECT orderkey FROM orders", "--max-rows", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_demo_runs(self, capsys):
+        code = main(["--sf", "0.001", "--tick", "500", "demo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "once" in out and "dne" in out
+
+    def test_bench_overhead_runs(self, capsys):
+        code = main(["--sf", "0.001", "bench-overhead"])
+        assert code == 0
+        assert "overhead" in capsys.readouterr().out

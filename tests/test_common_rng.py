@@ -1,0 +1,29 @@
+"""Tests for seeded RNG derivation."""
+
+from repro.common.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_decorrelate(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "gen").integers(0, 1000, size=10)
+        b = make_rng(7, "gen").integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_labels_different_streams(self):
+        a = make_rng(7, "x").integers(0, 1000, size=10)
+        b = make_rng(7, "y").integers(0, 1000, size=10)
+        assert (a != b).any()

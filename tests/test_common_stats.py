@@ -1,0 +1,124 @@
+"""Tests for incremental statistics (γ², Welford, normal quantiles)."""
+
+import math
+
+import pytest
+
+from repro.common.stats import (
+    IncrementalFrequencyStats,
+    RunningMeanVar,
+    normal_quantile,
+    squared_coefficient_of_variation,
+)
+
+
+class TestSquaredCoefficientOfVariation:
+    def test_empty_is_zero(self):
+        assert squared_coefficient_of_variation([]) == 0.0
+
+    def test_constant_frequencies_have_zero_variation(self):
+        assert squared_coefficient_of_variation([5, 5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # freqs [1, 3]: mean 2, var 1 -> gamma^2 = 1/4
+        assert squared_coefficient_of_variation([1, 3]) == pytest.approx(0.25)
+
+    def test_scale_invariance(self):
+        a = squared_coefficient_of_variation([1, 2, 3, 4])
+        b = squared_coefficient_of_variation([10, 20, 30, 40])
+        assert a == pytest.approx(b)
+
+
+class TestIncrementalFrequencyStats:
+    def test_matches_direct_computation(self):
+        stats = IncrementalFrequencyStats()
+        counts: dict[str, int] = {}
+        for v in "abacbdaaeb":
+            old = counts.get(v, 0)
+            stats.observe(old)
+            counts[v] = old + 1
+        direct = squared_coefficient_of_variation(counts.values())
+        assert stats.gamma_squared == pytest.approx(direct)
+        assert stats.num_groups == len(counts)
+        assert stats.sum_freq == sum(counts.values())
+
+    def test_observe_transition_bulk(self):
+        stats = IncrementalFrequencyStats()
+        stats.observe_transition(0, 5)
+        stats.observe_transition(5, 7)
+        stats.observe_transition(0, 3)
+        assert stats.num_groups == 2
+        assert stats.sum_freq == 10
+        assert stats.sum_freq_sq == 49 + 9
+
+    def test_transition_equivalent_to_unit_steps(self):
+        bulk = IncrementalFrequencyStats()
+        unit = IncrementalFrequencyStats()
+        bulk.observe_transition(0, 4)
+        for old in range(4):
+            unit.observe(old)
+        assert bulk.sum_freq_sq == unit.sum_freq_sq
+        assert bulk.gamma_squared == unit.gamma_squared
+
+    def test_rejects_negative(self):
+        stats = IncrementalFrequencyStats()
+        with pytest.raises(ValueError):
+            stats.observe(-1)
+        with pytest.raises(ValueError):
+            stats.observe_transition(3, 2)
+
+    def test_uniform_data_low_gamma(self):
+        # 100 groups each reaching frequency 10: zero variation.
+        stats = IncrementalFrequencyStats()
+        for count in range(10):
+            for _group in range(100):
+                stats.observe(count)
+        assert stats.gamma_squared == pytest.approx(0.0)
+
+    def test_mean_frequency(self):
+        stats = IncrementalFrequencyStats()
+        stats.observe_transition(0, 6)
+        stats.observe_transition(0, 2)
+        assert stats.mean_frequency == pytest.approx(4.0)
+
+
+class TestRunningMeanVar:
+    def test_matches_reference(self):
+        values = [1.0, 4.0, 9.0, 16.0, 25.0]
+        acc = RunningMeanVar()
+        for v in values:
+            acc.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert acc.mean == pytest.approx(mean)
+        assert acc.variance == pytest.approx(var)
+        assert acc.stddev == pytest.approx(math.sqrt(var))
+
+    def test_sample_variance_bessel(self):
+        acc = RunningMeanVar()
+        for v in [2.0, 4.0]:
+            acc.add(v)
+        assert acc.sample_variance == pytest.approx(2.0)
+
+    def test_empty(self):
+        acc = RunningMeanVar()
+        assert acc.variance == 0.0
+        assert acc.sample_variance == 0.0
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "alpha,expected",
+        [(0.6827, 1.0), (0.9545, 2.0), (0.9973, 3.0), (0.95, 1.95996), (0.99, 2.57583)],
+    )
+    def test_standard_values(self, alpha, expected):
+        assert normal_quantile(alpha) == pytest.approx(expected, abs=2e-3)
+
+    def test_monotone_in_alpha(self):
+        qs = [normal_quantile(a) for a in (0.5, 0.8, 0.9, 0.99, 0.999)]
+        assert qs == sorted(qs)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_out_of_range(self, alpha):
+        with pytest.raises(ValueError):
+            normal_quantile(alpha)

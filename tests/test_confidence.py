@@ -1,0 +1,105 @@
+"""Tests for the confidence interval machinery."""
+
+import math
+
+import pytest
+
+from repro.core.confidence import MeanEstimateInterval, binomial_beta, proportion_interval
+
+
+class TestBinomialBeta:
+    def test_shrinks_as_sqrt_t(self):
+        b100 = binomial_beta(100)
+        b400 = binomial_beta(400)
+        assert b400 == pytest.approx(b100 / 2)
+
+    def test_infinite_at_zero(self):
+        assert binomial_beta(0) == float("inf")
+
+    def test_known_value(self):
+        # beta = Z_alpha / (2 sqrt(t)); Z_0.9545 ~ 2.
+        assert binomial_beta(100, alpha=0.9545) == pytest.approx(0.1, abs=2e-3)
+
+    def test_higher_confidence_wider(self):
+        assert binomial_beta(100, 0.999) > binomial_beta(100, 0.9)
+
+
+class TestProportionInterval:
+    def test_contains_estimate(self):
+        lo, hi = proportion_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_clipped_to_unit_interval(self):
+        lo, hi = proportion_interval(0, 100)
+        assert lo == 0.0
+        lo, hi = proportion_interval(100, 100)
+        assert hi == 1.0
+
+    def test_degenerate_t(self):
+        assert proportion_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_t(self):
+        w1 = (lambda lo_hi: lo_hi[1] - lo_hi[0])(proportion_interval(30, 100))
+        w2 = (lambda lo_hi: lo_hi[1] - lo_hi[0])(proportion_interval(300, 1000))
+        assert w2 < w1
+
+
+class TestMeanEstimateInterval:
+    def test_mean_and_variance(self):
+        acc = MeanEstimateInterval()
+        for x in [2.0, 4.0, 6.0]:
+            acc.observe(x)
+        assert acc.mean == pytest.approx(4.0)
+        assert acc.variance == pytest.approx(8 / 3)
+
+    def test_interval_contains_scaled_mean(self):
+        acc = MeanEstimateInterval()
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            acc.observe(x)
+        lo, hi = acc.interval(scale=100.0)
+        assert lo < 250.0 < hi
+
+    def test_empty_interval_is_vacuous(self):
+        lo, hi = MeanEstimateInterval().interval(scale=10.0)
+        assert (lo, hi) == (0.0, float("inf"))
+
+    def test_single_observation_degenerate(self):
+        acc = MeanEstimateInterval()
+        acc.observe(5.0)
+        assert acc.interval(scale=2.0) == (10.0, 10.0)
+
+    def test_fpc_narrows_interval(self):
+        acc = MeanEstimateInterval()
+        for x in [1.0, 5.0, 2.0, 8.0, 3.0, 9.0]:
+            acc.observe(x)
+        lo_inf, hi_inf = acc.interval(scale=1.0)
+        lo_fpc, hi_fpc = acc.interval(scale=1.0, population=8)
+        assert (hi_fpc - lo_fpc) < (hi_inf - lo_inf)
+
+    def test_fpc_zero_width_at_full_population(self):
+        acc = MeanEstimateInterval()
+        for x in [1.0, 2.0, 3.0]:
+            acc.observe(x)
+        lo, hi = acc.interval(scale=1.0, population=3)
+        assert hi - lo == pytest.approx(0.0, abs=1e-12)
+
+    def test_coverage_simulation(self):
+        """~99% of intervals should cover the true scaled mean."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        population = rng.integers(0, 20, size=2000).astype(float)
+        true_total = population.sum()
+        covered = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.permutation(population)[:200]
+            acc = MeanEstimateInterval()
+            for x in sample:
+                acc.observe(float(x))
+            lo, hi = acc.interval(
+                scale=len(population), alpha=0.99, population=len(population)
+            )
+            if lo <= true_total <= hi:
+                covered += 1
+        assert covered / trials >= 0.95

@@ -1,0 +1,58 @@
+"""Tests for the paper's customer-table presets."""
+
+from collections import Counter
+
+from repro.datagen.skew import customer_variant, customer_variant_with_custkey
+
+
+class TestCustomerVariant:
+    def test_shape(self):
+        t = customer_variant(1.0, 100, num_rows=500, name="c")
+        assert t.num_rows == 500
+        assert t.schema.names(qualified=False) == ["custkey", "name", "nationkey"]
+
+    def test_custkey_is_sequential_pk(self):
+        t = customer_variant(1.0, 100, num_rows=100)
+        assert t.column_values("custkey") == list(range(1, 101))
+
+    def test_nationkey_domain(self):
+        t = customer_variant(2.0, 30, num_rows=2000)
+        values = set(t.column_values("nationkey"))
+        assert values <= set(range(1, 31))
+
+    def test_variants_have_different_hot_values(self):
+        a = customer_variant(2.0, 100, variant=0, num_rows=3000)
+        b = customer_variant(2.0, 100, variant=1, num_rows=3000)
+        hot_a = Counter(a.column_values("nationkey")).most_common(1)[0][0]
+        hot_b = Counter(b.column_values("nationkey")).most_common(1)[0][0]
+        assert hot_a != hot_b
+
+    def test_zero_skew_roughly_uniform(self):
+        t = customer_variant(0.0, 10, num_rows=10_000)
+        counts = Counter(t.column_values("nationkey"))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_deterministic(self):
+        a = customer_variant(1.0, 50, num_rows=200, seed=1)
+        b = customer_variant(1.0, 50, num_rows=200, seed=1)
+        assert list(a) == list(b)
+
+    def test_default_name_encodes_parameters(self):
+        # Dots would collide with qualified column syntax: z=1.5 -> z1p5.
+        t = customer_variant(1.5, 500, variant=2, num_rows=10)
+        assert t.name == "customer_z1p5_n500_v2"
+        assert "." not in t.name
+
+
+class TestCustomerVariantWithCustkey:
+    def test_both_columns_skewed_domain(self):
+        t = customer_variant_with_custkey(1.0, 2.0, 200, num_rows=2000)
+        assert set(t.column_values("custkey")) <= set(range(1, 201))
+        assert set(t.column_values("nationkey")) <= set(range(1, 201))
+
+    def test_columns_independent(self):
+        t = customer_variant_with_custkey(2.0, 2.0, 100, num_rows=5000)
+        hot_ck = Counter(t.column_values("custkey")).most_common(1)[0][0]
+        hot_nk = Counter(t.column_values("nationkey")).most_common(1)[0][0]
+        # Independently permuted: overwhelmingly different hot values.
+        assert hot_ck != hot_nk

@@ -1,0 +1,84 @@
+"""Tests for the TPC-H-shaped generator."""
+
+import pytest
+
+from repro.datagen.tpch import TPCH_TABLE_NAMES, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def cat():
+    return generate_tpch(sf=0.002, seed=5)
+
+
+class TestRowCounts:
+    def test_all_tables_present(self, cat):
+        for name in TPCH_TABLE_NAMES:
+            assert name in cat
+
+    def test_spec_scaling(self, cat):
+        assert cat.row_count("nation") == 25
+        assert cat.row_count("region") == 5
+        assert cat.row_count("customer") == 300
+        assert cat.row_count("orders") == 3000
+        assert cat.row_count("lineitem") == 12000
+        assert cat.row_count("supplier") == 20
+        assert cat.row_count("part") == 400
+        assert cat.row_count("partsupp") == 1600
+
+    def test_rejects_nonpositive_sf(self):
+        with pytest.raises(ValueError):
+            generate_tpch(sf=0)
+
+
+class TestReferentialIntegrity:
+    @pytest.mark.parametrize(
+        "child,fk,parent,pk",
+        [
+            ("customer", "nationkey", "nation", "nationkey"),
+            ("nation", "regionkey", "region", "regionkey"),
+            ("orders", "custkey", "customer", "custkey"),
+            ("lineitem", "orderkey", "orders", "orderkey"),
+            ("lineitem", "partkey", "part", "partkey"),
+            ("lineitem", "suppkey", "supplier", "suppkey"),
+            ("supplier", "nationkey", "nation", "nationkey"),
+            ("partsupp", "partkey", "part", "partkey"),
+            ("partsupp", "suppkey", "supplier", "suppkey"),
+        ],
+    )
+    def test_foreign_keys_resolve(self, cat, child, fk, parent, pk):
+        parents = set(cat.table(parent).column_values(pk))
+        children = set(cat.table(child).column_values(fk))
+        assert children <= parents
+
+    def test_primary_keys_unique(self, cat):
+        for name, pk in [
+            ("customer", "custkey"),
+            ("orders", "orderkey"),
+            ("part", "partkey"),
+            ("supplier", "suppkey"),
+        ]:
+            values = cat.table(name).column_values(pk)
+            assert len(values) == len(set(values))
+
+
+class TestSkew:
+    def test_skewed_fk_concentrates_on_low_keys(self):
+        cat = generate_tpch(sf=0.002, seed=5, skew_z=2.0)
+        custkeys = cat.table("orders").column_values("custkey")
+        top_share = custkeys.count(1) / len(custkeys)
+        assert top_share > 0.1  # Zipf-2 hot key holds a large share
+
+    def test_uniform_fk_spread(self):
+        cat = generate_tpch(sf=0.002, seed=5, skew_z=0.0)
+        custkeys = cat.table("orders").column_values("custkey")
+        top_share = custkeys.count(1) / len(custkeys)
+        assert top_share < 0.05
+
+    def test_determinism(self):
+        a = generate_tpch(sf=0.001, seed=9).table("orders").column_values("custkey")
+        b = generate_tpch(sf=0.001, seed=9).table("orders").column_values("custkey")
+        assert a == b
+
+    def test_table_subset(self):
+        cat = generate_tpch(sf=0.001, tables=("region", "nation"))
+        assert sorted(cat.table_names()) == ["nation", "region"]

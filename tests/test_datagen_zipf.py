@@ -1,0 +1,86 @@
+"""Tests for Zipfian value streams."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.zipf import ZipfDistribution, zipf_pmf
+
+
+class TestZipfPmf:
+    def test_sums_to_one(self):
+        assert zipf_pmf(1000, 1.5).sum() == pytest.approx(1.0)
+
+    def test_uniform_at_zero_skew(self):
+        pmf = zipf_pmf(100, 0.0)
+        assert np.allclose(pmf, 1 / 100)
+
+    def test_rank_ordering(self):
+        pmf = zipf_pmf(50, 1.0)
+        assert (np.diff(pmf) < 0).all()
+
+    def test_known_ratios(self):
+        pmf = zipf_pmf(10, 2.0)
+        assert pmf[1] / pmf[0] == pytest.approx(1 / 4)
+        assert pmf[2] / pmf[0] == pytest.approx(1 / 9)
+
+    @pytest.mark.parametrize("n,z", [(0, 1.0), (10, -0.5)])
+    def test_rejects_bad_params(self, n, z):
+        with pytest.raises(ValueError):
+            zipf_pmf(n, z)
+
+
+class TestZipfDistribution:
+    def test_sample_range(self):
+        dist = ZipfDistribution(100, 1.0, seed=1)
+        values = dist.sample(5000)
+        assert values.min() >= 1
+        assert values.max() <= 100
+
+    def test_deterministic(self):
+        a = ZipfDistribution(100, 1.0, seed=1).sample(100)
+        b = ZipfDistribution(100, 1.0, seed=1).sample(100)
+        assert (a == b).all()
+
+    def test_variants_share_skew_but_differ_in_hot_values(self):
+        d0 = ZipfDistribution(1000, 2.0, variant=0, seed=1)
+        d1 = ZipfDistribution(1000, 2.0, variant=1, seed=1)
+        hot0 = max(d0.value_probabilities().items(), key=lambda kv: kv[1])[0]
+        hot1 = max(d1.value_probabilities().items(), key=lambda kv: kv[1])[0]
+        assert hot0 != hot1
+
+    def test_unpermuted_hot_value_is_one(self):
+        dist = ZipfDistribution(1000, 2.0, seed=1, permute=False)
+        probs = dist.value_probabilities()
+        assert max(probs, key=probs.get) == 1
+
+    def test_empirical_frequencies_track_pmf(self):
+        dist = ZipfDistribution(10, 1.0, seed=2, permute=False)
+        values = dist.sample(50_000)
+        observed_top = np.mean(values == 1)
+        assert observed_top == pytest.approx(float(dist.pmf[0]), rel=0.05)
+
+    def test_value_probabilities_sum_to_one(self):
+        dist = ZipfDistribution(500, 1.5, variant=3, seed=4)
+        assert sum(dist.value_probabilities().values()) == pytest.approx(1.0)
+
+    def test_expected_join_size_uniform(self):
+        a = ZipfDistribution(100, 0.0, variant=0, seed=1)
+        b = ZipfDistribution(100, 0.0, variant=1, seed=1)
+        # Uniform x uniform: |R||S|/n regardless of permutation.
+        assert a.expected_join_size(b, 1000, 1000) == pytest.approx(10_000.0)
+
+    def test_expected_join_size_matches_empirical(self):
+        from collections import Counter
+
+        a = ZipfDistribution(50, 1.0, variant=0, seed=9)
+        b = ZipfDistribution(50, 1.0, variant=1, seed=9)
+        rows = 20_000
+        ca = Counter(a.sample(rows).tolist())
+        cb = Counter(b.sample(rows).tolist())
+        actual = sum(c * cb.get(v, 0) for v, c in ca.items())
+        expected = a.expected_join_size(b, rows, rows)
+        assert actual == pytest.approx(expected, rel=0.1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, 1.0).sample(-1)

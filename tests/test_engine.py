@@ -1,0 +1,95 @@
+"""Tests for the execution engine and tick bus."""
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine, TickBus
+from repro.executor.operators import HashJoin, SeqScan
+
+
+class TestTickBus:
+    def test_callbacks_fire_at_interval(self):
+        bus = TickBus(interval=10)
+        fired = []
+        bus.subscribe(lambda c: fired.append(c))
+        for _ in range(35):
+            bus.tick()
+        assert fired == [10, 20, 30]
+
+    def test_multiple_subscribers(self):
+        bus = TickBus(interval=5)
+        a, b = [], []
+        bus.subscribe(lambda c: a.append(c))
+        bus.subscribe(lambda c: b.append(c))
+        for _ in range(5):
+            bus.tick()
+        assert a == b == [5]
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            TickBus(interval=0)
+
+
+class TestExecutionEngine:
+    def test_collect_rows(self, tiny_table):
+        result = ExecutionEngine(SeqScan(tiny_table)).run()
+        assert result.rows == list(tiny_table)
+        assert result.row_count == 5
+
+    def test_no_collect_rows(self, tiny_table):
+        result = ExecutionEngine(SeqScan(tiny_table), collect_rows=False).run()
+        assert result.rows is None
+        assert result.row_count == 5
+
+    def test_row_callback(self, tiny_table):
+        seen = []
+        engine = ExecutionEngine(SeqScan(tiny_table), collect_rows=False)
+        engine.run(row_callback=lambda r: seen.append(r[0]))
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_operator_counts(self, tiny_table):
+        join = HashJoin(
+            SeqScan(tiny_table),
+            SeqScan(tiny_table.aliased("o")),
+            "tiny.id",
+            "o.id",
+        )
+        result = ExecutionEngine(join).run()
+        # node ids assigned pre-order: join=0, build scan=1, probe scan=2
+        assert result.operator_counts == {0: 5, 1: 5, 2: 5}
+
+    def test_bus_attached_to_whole_tree(self, tiny_table):
+        join = HashJoin(
+            SeqScan(tiny_table),
+            SeqScan(tiny_table.aliased("o")),
+            "tiny.id",
+            "o.id",
+        )
+        bus = TickBus(interval=1)
+        ticks = []
+        bus.subscribe(lambda c: ticks.append(c))
+        ExecutionEngine(join, bus=bus, collect_rows=False).run()
+        # build rows + probe rows + emitted rows all tick.
+        assert bus.count >= 15
+
+    def test_wall_time_recorded(self, tiny_table):
+        result = ExecutionEngine(SeqScan(tiny_table)).run()
+        assert result.wall_time_s >= 0.0
+
+    def test_operators_closed_after_run(self, tiny_table):
+        from repro.executor.operators.base import OperatorState
+
+        scan = SeqScan(tiny_table)
+        ExecutionEngine(scan).run()
+        assert scan.state is OperatorState.CLOSED
+
+    def test_close_even_on_error(self, tiny_table):
+        from repro.executor.operators.base import OperatorState
+        from repro.executor.operators import Filter
+        from repro.executor.expressions import col, lit
+
+        scan = SeqScan(tiny_table)
+        bad = Filter(scan, col("name") < lit(3))  # str < int raises
+        engine = ExecutionEngine(bad, collect_rows=False)
+        with pytest.raises(TypeError):
+            engine.run()
+        assert scan.state is OperatorState.CLOSED

@@ -1,0 +1,89 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.executor.expressions import And, BinaryOp, Col, Comparison, Const, Not, Or, col, lit
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of("a:int", "b:int", "name:str", qualifier="t")
+ROW = (3, 7, "x")
+
+
+def evaluate(expr):
+    return expr.bind(SCHEMA)(ROW)
+
+
+class TestAtoms:
+    def test_col_lookup(self):
+        assert evaluate(col("a")) == 3
+        assert evaluate(col("t.b")) == 7
+
+    def test_const(self):
+        assert evaluate(lit(42)) == 42
+
+    def test_referenced_columns(self):
+        expr = (col("a") > lit(1)) & (col("b") < col("a"))
+        assert expr.referenced_columns() == {"a", "b"}
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_all_operators(self, op, expected):
+        assert evaluate(Comparison(op, col("a"), col("b"))) is expected
+
+    def test_eq_sugar_builds_comparison(self):
+        expr = col("a") == lit(3)
+        assert isinstance(expr, Comparison)
+        assert evaluate(expr) is True
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("~", col("a"), col("b"))
+
+    def test_plain_value_coerced_to_const(self):
+        expr = col("a") < 5
+        assert isinstance(expr.right, Const)
+        assert evaluate(expr) is True
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        assert evaluate(And(col("a") < 5, col("b") > 5)) is True
+        assert evaluate(Or(col("a") > 5, col("b") > 5)) is True
+        assert evaluate(Not(col("a") == 3)) is False
+
+    def test_operator_sugar(self):
+        assert evaluate((col("a") > 0) & (col("b") > 0)) is True
+        assert evaluate((col("a") > 5) | (col("b") > 5)) is True
+        assert evaluate(~(col("a") > 5)) is True
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert evaluate(col("a") + col("b")) == 10
+        assert evaluate(col("b") - col("a")) == 4
+        assert evaluate(col("a") * lit(2)) == 6
+        assert evaluate(col("b") / lit(2)) == 3.5
+
+    def test_nested(self):
+        expr = (col("a") + col("b")) * lit(10) > lit(99)
+        assert evaluate(expr) is True
+
+    def test_unknown_arith_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("%", col("a"), col("b"))
+
+
+class TestBinding:
+    def test_unknown_column_fails_at_bind_time(self):
+        from repro.common.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            col("zzz").bind(SCHEMA)
+
+    def test_repr_is_readable(self):
+        expr = (col("a") > 1) & (col("name") == lit("x"))
+        assert repr(expr) == "((a > 1) AND (name = 'x'))"

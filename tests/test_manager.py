@@ -1,0 +1,115 @@
+"""Tests for the estimation manager's attachment rules."""
+
+import pytest
+
+from repro.core.manager import EstimationManager
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import col, lit
+from repro.executor.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    NestedLoopsJoin,
+    SeqScan,
+    SortMergeJoin,
+)
+from repro.datagen.skew import customer_variant
+from repro.workloads import paper_pipeline_same_attr, tpch_q8_like
+
+
+class TestAttachmentRules:
+    def test_hash_join_chain_gets_one_estimator(self):
+        setup = paper_pipeline_same_attr(z=0.0, domain_size=50, num_rows=500)
+        manager = EstimationManager(setup.plan)
+        assert len(manager.chain_estimators) == 1
+        assert manager.chain_estimators[0].k == 2
+
+    def test_merge_join_gets_binary_estimator(self, skewed_pair):
+        left, right = skewed_pair
+        join = SortMergeJoin(SeqScan(left), SeqScan(right), "left.nationkey", "right.nationkey")
+        manager = EstimationManager(join)
+        assert id(join) in manager.join_estimators
+
+    def test_presorted_merge_join_falls_back(self, skewed_pair):
+        left, right = skewed_pair
+        join = SortMergeJoin(
+            SeqScan(left), SeqScan(right), "left.nationkey", "right.nationkey",
+            left_presorted=True,
+        )
+        manager = EstimationManager(join)
+        assert id(join) not in manager.join_estimators
+        assert manager.fallbacks
+
+    def test_plain_nl_join_not_attached(self, skewed_pair):
+        left, right = skewed_pair
+        join = NestedLoopsJoin(SeqScan(left), SeqScan(right))
+        manager = EstimationManager(join)
+        assert manager.estimate_for(join) is None
+
+    def test_aggregate_over_chain_pushed_down(self):
+        b = customer_variant(1.0, 40, 1, 800, name="b")
+        c = customer_variant(1.0, 40, 2, 800, name="c")
+        join = HashJoin(SeqScan(b), SeqScan(c), "b.nationkey", "c.nationkey")
+        agg = HashAggregate(join, ["c.nationkey"], [AggregateSpec("count")])
+        manager = EstimationManager(agg)
+        assert manager.group_estimators[id(agg)].pushed_down
+
+    def test_aggregate_on_build_column_attaches_directly(self):
+        b = customer_variant(1.0, 40, 1, 800, name="b")
+        c = customer_variant(1.0, 40, 2, 800, name="c")
+        join = HashJoin(SeqScan(b), SeqScan(c), "b.nationkey", "c.nationkey")
+        agg = HashAggregate(join, ["b.custkey"], [AggregateSpec("count")])
+        manager = EstimationManager(agg)
+        assert not manager.group_estimators[id(agg)].pushed_down
+
+    def test_global_aggregate_skipped(self, skewed_pair):
+        left, _ = skewed_pair
+        agg = HashAggregate(SeqScan(left), [], [AggregateSpec("count")])
+        manager = EstimationManager(agg)
+        assert id(agg) not in manager.group_estimators
+
+
+class TestEstimates:
+    def test_estimates_exact_after_run(self):
+        setup = paper_pipeline_same_attr(z=1.0, domain_size=100, num_rows=1500)
+        manager = EstimationManager(setup.plan)
+        ExecutionEngine(setup.plan, collect_rows=False).run()
+        for join in setup.joins:
+            assert manager.is_exact(join)
+            assert manager.estimate_for(join) == join.tuples_emitted
+
+    def test_has_started_transitions(self, skewed_pair):
+        left, right = skewed_pair
+        join = HashJoin(SeqScan(left), SeqScan(right), "left.nationkey", "right.nationkey")
+        manager = EstimationManager(join)
+        assert not manager.has_started(join)
+        ExecutionEngine(join, collect_rows=False).run()
+        assert manager.has_started(join)
+
+    def test_max_multiplicities_populated(self, skewed_pair):
+        left, right = skewed_pair
+        join = HashJoin(SeqScan(left), SeqScan(right), "left.nationkey", "right.nationkey")
+        manager = EstimationManager(join)
+        ExecutionEngine(join, collect_rows=False).run()
+        mult = manager.max_multiplicities()
+        from collections import Counter
+
+        true_max = max(Counter(left.column_values("nationkey")).values())
+        assert mult[id(join)] == true_max
+
+    def test_describe_mentions_attachments(self):
+        setup = paper_pipeline_same_attr(z=0.0, domain_size=50, num_rows=400)
+        manager = EstimationManager(setup.plan)
+        assert "chain[2]" in manager.describe()
+
+
+class TestQ8Coverage:
+    def test_whole_q8_chain_estimated_exactly(self):
+        setup = tpch_q8_like(sf=0.002, skew_z=1.0, sample_fraction=0.0)
+        manager = EstimationManager(setup.plan)
+        assert len(manager.chain_estimators) == 1
+        assert manager.chain_estimators[0].k == 7
+        ExecutionEngine(setup.plan, collect_rows=False).run()
+        for join in setup.joins:
+            assert manager.estimate_for(join) == join.tuples_emitted

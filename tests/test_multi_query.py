@@ -1,0 +1,76 @@
+"""Tests for multi-query progress monitoring."""
+
+import pytest
+
+from repro.core.multi_query import InterleavedExecutor, MultiQueryProgressMonitor
+from repro.datagen.skew import customer_variant
+from repro.executor.operators import HashJoin, SeqScan
+
+
+def make_join(rows: int, tag: str):
+    a = customer_variant(1.0, 50, 0, rows, name=f"a{tag}")
+    b = customer_variant(1.0, 50, 1, rows, name=f"b{tag}")
+    return HashJoin(
+        SeqScan(a), SeqScan(b), f"a{tag}.nationkey", f"b{tag}.nationkey"
+    )
+
+
+class TestMultiQueryMonitor:
+    def test_aggregate_progress_completes(self):
+        monitor = MultiQueryProgressMonitor()
+        monitor.add_query("q1", make_join(800, "x"), tick_interval=200)
+        monitor.add_query("q2", make_join(400, "y"), tick_interval=200)
+        executor = InterleavedExecutor(monitor, quantum_rows=100)
+        counts = executor.run()
+        assert set(counts) == {"q1", "q2"}
+        assert all(c > 0 for c in counts.values())
+        final = monitor.snapshot()
+        assert final.progress == pytest.approx(1.0)
+        assert final.per_query["q1"] == pytest.approx(1.0)
+        assert final.per_query["q2"] == pytest.approx(1.0)
+
+    def test_interleaving_is_fair(self):
+        """Both queries make progress before either finishes."""
+        monitor = MultiQueryProgressMonitor()
+        h1 = monitor.add_query("q1", make_join(1500, "x"))
+        h2 = monitor.add_query("q2", make_join(1500, "y"))
+        observed = []
+
+        def on_turn(mon):
+            snap = mon.snapshot()
+            observed.append((snap.per_query["q1"], snap.per_query["q2"]))
+
+        InterleavedExecutor(monitor, quantum_rows=50, on_turn=on_turn).run()
+        both_partial = [
+            (p1, p2) for p1, p2 in observed if 0 < p1 < 1 and 0 < p2 < 1
+        ]
+        assert both_partial, "expected turns where both queries were mid-flight"
+
+    def test_workload_progress_monotone(self):
+        monitor = MultiQueryProgressMonitor()
+        monitor.add_query("q1", make_join(700, "x"))
+        monitor.add_query("q2", make_join(900, "y"))
+        samples = []
+
+        def on_turn(mon):
+            samples.append(mon.snapshot().work_done)
+
+        InterleavedExecutor(monitor, quantum_rows=64, on_turn=on_turn).run()
+        assert samples == sorted(samples)
+
+    def test_mixed_modes(self):
+        monitor = MultiQueryProgressMonitor()
+        monitor.add_query("once", make_join(500, "x"), mode="once")
+        monitor.add_query("dne", make_join(500, "y"), mode="dne")
+        InterleavedExecutor(monitor).run()
+        assert monitor.snapshot().progress == pytest.approx(1.0)
+
+    def test_quantum_validation(self):
+        with pytest.raises(ValueError):
+            InterleavedExecutor(MultiQueryProgressMonitor(), quantum_rows=0)
+
+    def test_single_query_workload(self):
+        monitor = MultiQueryProgressMonitor()
+        monitor.add_query("only", make_join(300, "x"))
+        counts = InterleavedExecutor(monitor).run()
+        assert counts["only"] > 0

@@ -1,0 +1,83 @@
+"""Tests for scan operators."""
+
+import pytest
+
+from repro.common.errors import ExecutorError
+from repro.executor.operators import SampleScan, SeqScan
+from repro.executor.operators.base import OperatorState
+
+
+class TestSeqScan:
+    def test_emits_all_rows_in_order(self, tiny_table):
+        scan = SeqScan(tiny_table)
+        scan.open()
+        rows = list(scan)
+        assert rows == list(tiny_table)
+        assert scan.tuples_emitted == 5
+        assert scan.is_exhausted
+
+    def test_next_before_open_raises(self, tiny_table):
+        with pytest.raises(ExecutorError):
+            SeqScan(tiny_table).next()
+
+    def test_double_open_raises(self, tiny_table):
+        scan = SeqScan(tiny_table)
+        scan.open()
+        with pytest.raises(ExecutorError):
+            scan.open()
+
+    def test_next_after_exhaustion_is_none(self, tiny_table):
+        scan = SeqScan(tiny_table)
+        scan.open()
+        list(scan)
+        assert scan.next() is None
+
+    def test_close_idempotent(self, tiny_table):
+        scan = SeqScan(tiny_table)
+        scan.open()
+        scan.close()
+        scan.close()
+        assert scan.state is OperatorState.CLOSED
+
+    def test_total_rows(self, tiny_table):
+        assert SeqScan(tiny_table).total_rows == 5
+
+
+class TestSampleScan:
+    def test_partition_property(self, tiny_table):
+        scan = SampleScan(tiny_table, 0.5, seed=1)
+        scan.open()
+        rows = list(scan)
+        assert sorted(rows) == sorted(tiny_table)
+        assert scan.tuples_emitted == 5
+
+    def test_sample_boundary_hook_fires_once(self, tiny_table):
+        scan = SampleScan(tiny_table, 0.5, seed=1)
+        fired = []
+        scan.sample_boundary_hooks.append(lambda s: fired.append(s.tuples_emitted))
+        scan.open()
+        list(scan)
+        assert len(fired) == 1
+        # The hook fires exactly when the sample portion is exhausted.
+        assert fired[0] == scan.sample_rows
+
+    def test_zero_fraction_never_in_sample(self, tiny_table):
+        scan = SampleScan(tiny_table, 0.0, seed=1)
+        fired = []
+        scan.sample_boundary_hooks.append(lambda s: fired.append(True))
+        scan.open()
+        rows = list(scan)
+        assert rows == list(tiny_table)  # table order
+        assert fired  # boundary fires immediately (empty sample)
+
+    def test_phase_transitions(self, tiny_table):
+        scan = SampleScan(tiny_table, 0.5, seed=1)
+        phases = []
+        scan.phase_hooks.append(lambda op, p: phases.append(p))
+        scan.open()
+        list(scan)
+        assert phases == ["sample", "remainder", "done"]
+
+    def test_sample_rows_matches_plan(self, tiny_table):
+        scan = SampleScan(tiny_table, 0.5, seed=1)
+        assert scan.sample_rows == scan.sample.sample_row_count

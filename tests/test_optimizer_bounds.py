@@ -1,0 +1,81 @@
+"""Tests for bound-based refinement of future-pipeline estimates."""
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import col, lit
+from repro.executor.operators import Filter, HashAggregate, HashJoin, SeqScan
+from repro.optimizer.bounds import CardinalityBounds, RefinableEstimate
+
+
+class TestRefinableEstimate:
+    def test_clamping(self):
+        est = RefinableEstimate(lo=10.0, est=5.0, hi=100.0)
+        assert est.clamped() == 10.0
+        est.est = 500.0
+        assert est.clamped() == 100.0
+
+    def test_bounds_only_tighten(self):
+        est = RefinableEstimate(lo=0.0, est=50.0, hi=1000.0)
+        est.update_bounds(lo=10.0, hi=500.0)
+        est.update_bounds(lo=5.0, hi=2000.0)  # looser info is ignored
+        assert est.lo == 10.0
+        assert est.hi == 500.0
+
+    def test_crossed_bounds_resolve_to_hi(self):
+        est = RefinableEstimate(lo=0.0, est=5.0, hi=100.0)
+        est.update_bounds(lo=50.0)
+        est.update_bounds(hi=20.0)
+        assert est.lo == est.hi == 20.0
+
+
+class TestCardinalityBounds:
+    def make_plan(self, tiny_table):
+        scan = SeqScan(tiny_table)
+        other = SeqScan(tiny_table.aliased("o"))
+        join = HashJoin(other, Filter(scan, col("id") > lit(0)), "o.id", "tiny.id")
+        join.estimated_cardinality = 1000.0  # absurd optimizer estimate
+        scan.estimated_cardinality = 5.0
+        other.estimated_cardinality = 5.0
+        join.probe_child.estimated_cardinality = 5.0
+        return join, scan, other
+
+    def test_join_clamped_by_cross_product(self, tiny_table):
+        join, *_ = self.make_plan(tiny_table)
+        bounds = CardinalityBounds(join)
+        bounds.refine()
+        # |filter| <= 5, |build| = 5 -> join <= 25 << 1000.
+        assert bounds.estimate_of(join) <= 25.0
+
+    def test_max_multiplicity_tightens_join_bound(self, tiny_table):
+        join, *_ = self.make_plan(tiny_table)
+        bounds = CardinalityBounds(join)
+        bounds.refine(max_multiplicity={id(join): 1.0})
+        assert bounds.estimate_of(join) <= 5.0
+
+    def test_scans_pinned_exactly(self, tiny_table):
+        join, scan, other = self.make_plan(tiny_table)
+        bounds = CardinalityBounds(join)
+        bounds.refine()
+        assert bounds.of(scan).lo == bounds.of(scan).hi == 5.0
+
+    def test_set_known_pins_value(self, tiny_table):
+        join, *_ = self.make_plan(tiny_table)
+        bounds = CardinalityBounds(join)
+        bounds.set_known(join, 17.0)
+        assert bounds.estimate_of(join) == 17.0
+
+    def test_aggregate_bounded_by_input(self, tiny_table):
+        agg = HashAggregate(SeqScan(tiny_table), ["name"])
+        agg.estimated_cardinality = 9999.0
+        bounds = CardinalityBounds(agg)
+        bounds.refine()
+        assert bounds.estimate_of(agg) <= 5.0
+        assert bounds.of(agg).lo >= 1.0
+
+    def test_estimates_survive_execution(self, tiny_table):
+        join, *_ = self.make_plan(tiny_table)
+        bounds = CardinalityBounds(join)
+        ExecutionEngine(join, collect_rows=False).run()
+        bounds.refine()
+        assert bounds.estimate_of(join) <= 25.0

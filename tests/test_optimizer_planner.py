@@ -1,0 +1,109 @@
+"""Tests for the heuristic planner."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import col, lit
+from repro.executor.operators import HashJoin, SampleScan, SeqScan
+from repro.optimizer.planner import JoinSpec, Planner
+
+
+class TestScan:
+    def test_plain_scan(self, small_catalog):
+        planner = Planner(small_catalog)
+        scan = planner.scan("orders")
+        assert isinstance(scan, SeqScan)
+
+    def test_sampling_scan(self, small_catalog):
+        planner = Planner(small_catalog, sample_fraction=0.1)
+        scan = planner.scan("orders")
+        assert isinstance(scan, SampleScan)
+
+    def test_scan_with_filter(self, small_catalog):
+        planner = Planner(small_catalog)
+        plan = planner.scan("orders", col("totalprice") > lit(400_000.0))
+        result = ExecutionEngine(plan, collect_rows=False).run()
+        assert 0 < result.row_count < small_catalog.row_count("orders")
+
+
+class TestBuild:
+    def test_join_chain_shape(self, small_catalog):
+        planner = Planner(small_catalog)
+        plan = planner.build(
+            "lineitem",
+            [
+                JoinSpec("orders", "lineitem.orderkey", "orderkey"),
+                JoinSpec("customer", "orders.custkey", "custkey"),
+            ],
+        )
+        # Top is a hash join whose probe child is the lower join.
+        assert isinstance(plan, HashJoin)
+        assert isinstance(plan.probe_child, HashJoin)
+
+    def test_chain_executes_correctly(self, small_catalog):
+        planner = Planner(small_catalog)
+        plan = planner.build(
+            "lineitem", [JoinSpec("orders", "lineitem.orderkey", "orderkey")]
+        )
+        result = ExecutionEngine(plan, collect_rows=False).run()
+        # PK-FK join preserves lineitem cardinality.
+        assert result.row_count == small_catalog.row_count("lineitem")
+
+    def test_estimates_annotated(self, small_catalog):
+        planner = Planner(small_catalog)
+        plan = planner.build(
+            "lineitem", [JoinSpec("orders", "lineitem.orderkey", "orderkey")]
+        )
+        assert plan.estimated_cardinality is not None
+
+    def test_group_by(self, small_catalog):
+        from repro.executor.operators import AggregateSpec, HashAggregate
+
+        planner = Planner(small_catalog)
+        plan = planner.build(
+            "orders",
+            group_by=["orders.custkey"],
+            aggregates=[AggregateSpec("count", alias="n")],
+        )
+        assert isinstance(plan, HashAggregate)
+        result = ExecutionEngine(plan, collect_rows=False).run()
+        assert result.row_count <= small_catalog.row_count("customer")
+
+    def test_merge_join_method(self, small_catalog):
+        from repro.executor.operators import SortMergeJoin
+
+        planner = Planner(small_catalog)
+        plan = planner.build(
+            "lineitem",
+            [JoinSpec("orders", "lineitem.orderkey", "orderkey", method="merge")],
+        )
+        assert isinstance(plan, SortMergeJoin)
+
+    def test_index_nl_method(self, small_catalog):
+        from repro.executor.operators import IndexNestedLoopsJoin
+
+        planner = Planner(small_catalog)
+        plan = planner.build(
+            "lineitem",
+            [JoinSpec("orders", "lineitem.orderkey", "orderkey", method="index_nl")],
+        )
+        assert isinstance(plan, IndexNestedLoopsJoin)
+        result = ExecutionEngine(plan, collect_rows=False).run()
+        assert result.row_count == small_catalog.row_count("lineitem")
+
+
+class TestValidation:
+    def test_unknown_probe_key(self, small_catalog):
+        planner = Planner(small_catalog)
+        with pytest.raises(PlanError, match="probe key"):
+            planner.build("lineitem", [JoinSpec("orders", "lineitem.nope", "orderkey")])
+
+    def test_unknown_build_key(self, small_catalog):
+        planner = Planner(small_catalog)
+        with pytest.raises(PlanError, match="build key"):
+            planner.build("lineitem", [JoinSpec("orders", "lineitem.orderkey", "nope")])
+
+    def test_unknown_method(self):
+        with pytest.raises(PlanError):
+            JoinSpec("orders", "x", method="bogus")

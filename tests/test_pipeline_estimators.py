@@ -1,0 +1,217 @@
+"""Tests for Algorithm-1 push-down estimation over hash-join chains."""
+
+import pytest
+
+from repro.common.errors import EstimationError
+from repro.core.pipeline_estimators import HashJoinChainEstimator, find_hash_join_chains
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import col, lit
+from repro.executor.operators import Filter, HashJoin, SeqScan
+from repro.datagen.skew import customer_variant, customer_variant_with_custkey
+
+
+def make_chain(*, same_attr: bool, case: int = 1, rows: int = 3000, domain: int = 60):
+    """Two-join pipelines mirroring Figure 2; returns (upper, lower, estimator)."""
+    if same_attr:
+        a = customer_variant(1.0, domain, 0, rows, name="a")
+        b = customer_variant(1.0, domain, 1, rows, name="b")
+        c = customer_variant(1.0, domain, 2, rows, name="c")
+        lower = HashJoin(SeqScan(b), SeqScan(c), "b.nationkey", "c.nationkey")
+        upper = HashJoin(SeqScan(a), lower, "a.nationkey", "b.nationkey")
+    else:
+        a = customer_variant_with_custkey(1.0, 1.0, domain * 4, 0, rows, name="a")
+        b = customer_variant_with_custkey(1.0, 1.0, domain * 4, 1, rows, name="b")
+        c = customer_variant_with_custkey(1.0, 1.0, domain * 4, 2, rows, name="c")
+        lower = HashJoin(SeqScan(b), SeqScan(c), "b.nationkey", "c.nationkey")
+        probe_key = "c.custkey" if case == 1 else "b.custkey"
+        upper = HashJoin(SeqScan(a), lower, "a.custkey", probe_key)
+    est = HashJoinChainEstimator([lower, upper])
+    return upper, lower, est
+
+
+class TestChainDiscovery:
+    def test_single_join_is_a_chain(self, skewed_pair):
+        left, right = skewed_pair
+        join = HashJoin(SeqScan(left), SeqScan(right), "left.nationkey", "right.nationkey")
+        chains = find_hash_join_chains(join)
+        assert chains == [[join]]
+
+    def test_two_level_chain_bottom_up(self):
+        upper, lower, _ = make_chain(same_attr=True)
+        chains = find_hash_join_chains(upper)
+        assert chains == [[lower, upper]]
+
+    def test_filter_breaks_chain(self):
+        a = customer_variant(0.0, 10, 0, 100, name="a")
+        b = customer_variant(0.0, 10, 1, 100, name="b")
+        c = customer_variant(0.0, 10, 2, 100, name="c")
+        lower = HashJoin(SeqScan(b), SeqScan(c), "b.nationkey", "c.nationkey")
+        filt = Filter(lower, col("c.custkey") > lit(0))
+        upper = HashJoin(SeqScan(a), filt, "a.nationkey", "b.nationkey")
+        chains = find_hash_join_chains(upper)
+        assert sorted(len(c) for c in chains) == [1, 1]
+
+    def test_build_side_join_is_separate_chain(self):
+        a = customer_variant(0.0, 10, 0, 100, name="a")
+        b = customer_variant(0.0, 10, 1, 100, name="b")
+        c = customer_variant(0.0, 10, 2, 100, name="c")
+        build_join = HashJoin(SeqScan(a), SeqScan(b), "a.nationkey", "b.nationkey")
+        top = HashJoin(build_join, SeqScan(c), "a.nationkey", "c.nationkey")
+        chains = find_hash_join_chains(top)
+        assert sorted(len(ch) for ch in chains) == [1, 1]
+
+
+class TestExactConvergence:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(same_attr=True), dict(same_attr=False, case=1), dict(same_attr=False, case=2)],
+    )
+    def test_both_levels_exact_after_probe_pass(self, kwargs):
+        upper, lower, est = make_chain(**kwargs)
+        ExecutionEngine(upper, collect_rows=False).run()
+        assert est.exact
+        assert est.estimate_level(0) == lower.tuples_emitted
+        assert est.estimate_level(1) == upper.tuples_emitted
+
+    def test_exact_before_lower_join_pass(self):
+        """Estimates for *both* joins are exact by the end of the lowest
+        probe partitioning pass — before partition-wise joining begins."""
+        upper, lower, est = make_chain(same_attr=True)
+        upper.open()
+        while not est.exact:
+            assert upper.next() is not None
+        # The upper join has emitted at most a trickle at this point.
+        assert upper.tuples_emitted < est.estimate_level(1) / 2
+
+    def test_estimates_dict(self):
+        upper, lower, est = make_chain(same_attr=True)
+        ExecutionEngine(upper, collect_rows=False).run()
+        estimates = est.estimates()
+        assert estimates[lower] == lower.tuples_emitted
+        assert estimates[upper] == upper.tuples_emitted
+
+    def test_current_estimate_by_join(self):
+        upper, lower, est = make_chain(same_attr=True)
+        ExecutionEngine(upper, collect_rows=False).run()
+        assert est.current_estimate(lower) == lower.tuples_emitted
+        assert est.current_estimate() == upper.tuples_emitted  # default: top
+
+
+class TestNestedReferences:
+    def test_three_level_nested_case2(self):
+        """J2 keyed on B1's column, J1 keyed on B0's column: requires the
+        recursive derived-histogram composition."""
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        from repro.storage.schema import Schema
+        from repro.storage.table import Table
+
+        def tbl(name, cols, n):
+            data = rng.integers(1, 15, size=(n, len(cols)))
+            return Table(name, Schema.of(*[f"{c}:int" for c in cols]),
+                         [tuple(int(x) for x in row) for row in data])
+
+        c = tbl("c", ["x"], 400)
+        b0 = tbl("b0", ["x", "u"], 300)   # J0: b0.x = c.x
+        b1 = tbl("b1", ["u", "v"], 300)   # J1: b1.u = b0.u  (case 2)
+        b2 = tbl("b2", ["v"], 300)        # J2: b2.v = b1.v  (nested case 2)
+        j0 = HashJoin(SeqScan(b0), SeqScan(c), "b0.x", "c.x")
+        j1 = HashJoin(SeqScan(b1), j0, "b1.u", "b0.u")
+        j2 = HashJoin(SeqScan(b2), j1, "b2.v", "b1.v")
+        est = HashJoinChainEstimator([j0, j1, j2])
+        ExecutionEngine(j2, collect_rows=False).run()
+        assert est.estimate_level(0) == j0.tuples_emitted
+        assert est.estimate_level(1) == j1.tuples_emitted
+        assert est.estimate_level(2) == j2.tuples_emitted
+
+    def test_mixed_c_and_b_references(self):
+        """J1 on a C column (case 1), J2 on a B0 column (case 2)."""
+        import numpy as np
+
+        rng = np.random.default_rng(6)
+        from repro.storage.schema import Schema
+        from repro.storage.table import Table
+
+        def tbl(name, cols, n):
+            data = rng.integers(1, 12, size=(n, len(cols)))
+            return Table(name, Schema.of(*[f"{c}:int" for c in cols]),
+                         [tuple(int(x) for x in row) for row in data])
+
+        c = tbl("c", ["x", "y"], 400)
+        b0 = tbl("b0", ["x", "w"], 250)
+        b1 = tbl("b1", ["y"], 250)
+        b2 = tbl("b2", ["w"], 250)
+        j0 = HashJoin(SeqScan(b0), SeqScan(c), "b0.x", "c.x")
+        j1 = HashJoin(SeqScan(b1), j0, "b1.y", "c.y")
+        j2 = HashJoin(SeqScan(b2), j1, "b2.w", "b0.w")
+        est = HashJoinChainEstimator([j0, j1, j2])
+        ExecutionEngine(j2, collect_rows=False).run()
+        for level, join in enumerate([j0, j1, j2]):
+            assert est.estimate_level(level) == join.tuples_emitted
+
+
+class TestMidStreamAccuracy:
+    def test_estimates_reasonable_mid_probe(self):
+        upper, lower, est = make_chain(same_attr=True, rows=6000)
+        est.record_every = 500
+        ExecutionEngine(upper, collect_rows=False).run()
+        truth = upper.tuples_emitted
+        mid = next(e for t, e in est.history[1] if t >= 3000)
+        assert mid == pytest.approx(truth, rel=0.3)
+
+    def test_confidence_interval_covers_truth(self):
+        upper, lower, est = make_chain(same_attr=True, rows=6000)
+        upper.open()
+        while est.t < 2000:
+            upper.next()
+        lo, hi = est.confidence_interval(upper, alpha=0.99)
+        while upper.next() is not None:
+            pass
+        assert lo <= upper.tuples_emitted <= hi
+
+
+class TestValidation:
+    def test_disconnected_chain_rejected(self, skewed_pair):
+        left, right = skewed_pair
+        j1 = HashJoin(SeqScan(left), SeqScan(right), "left.nationkey", "right.nationkey")
+        j2 = HashJoin(
+            SeqScan(left.aliased("l2")), SeqScan(right.aliased("r2")),
+            "l2.nationkey", "r2.nationkey",
+        )
+        with pytest.raises(EstimationError, match="connected"):
+            HashJoinChainEstimator([j1, j2])
+
+    def test_multi_column_keys_rejected(self, skewed_pair):
+        left, right = skewed_pair
+        join = HashJoin(
+            SeqScan(left), SeqScan(right),
+            ["left.nationkey", "left.custkey"], ["right.nationkey", "right.custkey"],
+        )
+        with pytest.raises(EstimationError, match="single-column"):
+            HashJoinChainEstimator([join])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(EstimationError, match="empty"):
+            HashJoinChainEstimator([])
+
+
+class TestOutputListeners:
+    def test_listener_receives_exact_output_distribution(self):
+        from collections import Counter
+
+        upper, lower, est = make_chain(same_attr=True, rows=2000)
+        observed: Counter = Counter()
+        est.add_output_listener("c.nationkey", lambda v, w: observed.update({v: w}))
+        result = ExecutionEngine(upper, collect_rows=False).run()
+        # Reference: group the actual join output by c.nationkey.
+        upper2, lower2, _ = make_chain(same_attr=True, rows=2000)
+        res2 = ExecutionEngine(upper2, collect_rows=True).run()
+        idx = upper2.output_schema.index_of("c.nationkey")
+        expected = Counter(r[idx] for r in res2.rows)
+        assert observed == expected
+
+    def test_unknown_column_rejected(self):
+        upper, lower, est = make_chain(same_attr=True, rows=100)
+        with pytest.raises(EstimationError, match="base probe stream"):
+            est.add_output_listener("a.nationkey", lambda v, w: None)

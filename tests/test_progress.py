@@ -1,0 +1,133 @@
+"""Tests for the gnm progress monitor."""
+
+import pytest
+
+from repro.core.progress import ProgressMonitor, ProgressSnapshot
+from repro.executor.engine import ExecutionEngine, TickBus
+from repro.executor.expressions import col, lit
+from repro.executor.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    SeqScan,
+)
+from repro.workloads import paper_binary_join, paper_pipeline_same_attr
+
+
+class TestSnapshotBasics:
+    def test_progress_bounded(self):
+        snap = ProgressSnapshot(0, 0.0, work_done=50.0, work_total_estimate=40.0)
+        assert snap.progress == 1.0
+        snap2 = ProgressSnapshot(0, 0.0, work_done=0.0, work_total_estimate=0.0)
+        assert snap2.progress == 0.0
+
+    def test_rejects_unknown_mode(self, tiny_table):
+        with pytest.raises(ValueError, match="mode"):
+            ProgressMonitor(SeqScan(tiny_table), mode="psychic")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("mode", ["once", "dne", "byte"])
+    def test_final_snapshot_is_complete(self, mode):
+        setup = paper_binary_join(z=0.0, domain_size=100, num_rows=1500)
+        bus = TickBus(interval=500)
+        monitor = ProgressMonitor(setup.plan, mode=mode, bus=bus)
+        ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+        final = monitor.snapshot()
+        assert final.work_done == monitor.true_total()
+        assert final.progress == pytest.approx(1.0)
+
+    def test_snapshots_recorded_during_blocking_phases(self):
+        setup = paper_binary_join(z=0.0, domain_size=100, num_rows=1500)
+        bus = TickBus(interval=200)
+        monitor = ProgressMonitor(setup.plan, mode="once", bus=bus)
+        ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+        # Some snapshots must have been taken while the main pipeline had
+        # produced no output (i.e. during build/probe partitioning).
+        assert any(s.work_done < setup.catalog.row_count("cust_build") * 1.5
+                   for s in monitor.snapshots)
+        assert len(monitor.snapshots) > 5
+
+    def test_work_done_monotone(self):
+        setup = paper_binary_join(z=1.0, domain_size=500, num_rows=2000)
+        bus = TickBus(interval=300)
+        monitor = ProgressMonitor(setup.plan, mode="once", bus=bus)
+        ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+        done = [s.work_done for s in monitor.snapshots]
+        assert done == sorted(done)
+
+    def test_once_ratio_error_converges_early(self):
+        """The paper's headline: after the probe pass (a small fraction of
+        total work for a skewed join), the ratio error pins to ~1."""
+        setup = paper_binary_join(z=1.0, domain_size=200, num_rows=3000)
+        bus = TickBus(interval=300)
+        monitor = ProgressMonitor(setup.plan, mode="once", bus=bus)
+        ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+        errors = monitor.ratio_errors()
+        late = [r for a, r in errors if a >= 0.3]
+        assert late, "expected snapshots past 30% progress"
+        assert all(abs(r - 1.0) < 0.05 for r in late)
+
+    def test_dne_worse_than_once_on_skew(self):
+        def terminal_error(mode: str) -> float:
+            setup = paper_binary_join(z=1.0, domain_size=200, num_rows=3000)
+            bus = TickBus(interval=300)
+            monitor = ProgressMonitor(setup.plan, mode=mode, bus=bus)
+            ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+            errors = [abs(r - 1.0) for a, r in monitor.ratio_errors() if 0.2 < a < 0.8]
+            return sum(errors) / len(errors)
+
+        assert terminal_error("dne") > 2 * terminal_error("once")
+
+
+class TestPipelineStates:
+    def test_states_progress_through_lifecycle(self):
+        setup = paper_pipeline_same_attr(z=0.0, domain_size=100, num_rows=1000)
+        bus = TickBus(interval=100)
+        monitor = ProgressMonitor(setup.plan, mode="once", bus=bus)
+        ExecutionEngine(setup.plan, bus=bus, collect_rows=False).run()
+        first_states = monitor.snapshots[0].pipeline_states
+        last = monitor.snapshot().pipeline_states
+        assert "future" in first_states.values() or "current" in first_states.values()
+        assert set(last.values()) == {"finished"}
+
+    def test_future_pipelines_use_bounded_optimizer_estimates(self, tiny_table):
+        join = HashJoin(
+            SeqScan(tiny_table), SeqScan(tiny_table.aliased("o")), "tiny.id", "o.id"
+        )
+        join.estimated_cardinality = 10_000.0  # absurd
+        monitor = ProgressMonitor(join, mode="once")
+        snap = monitor.snapshot()
+        # Bounds clamp the join to |build| * |probe| = 25.
+        assert snap.work_total_estimate <= 25 + 5 + 5
+
+    def test_catalog_annotation(self, small_catalog):
+        plan = HashJoin(
+            SeqScan(small_catalog.table("orders")),
+            SeqScan(small_catalog.table("lineitem")),
+            "orders.orderkey",
+            "lineitem.orderkey",
+        )
+        monitor = ProgressMonitor(plan, mode="once", catalog=small_catalog)
+        assert plan.estimated_cardinality is not None
+
+
+class TestAggregateProgress:
+    def test_groupby_query_progress(self):
+        from repro.datagen.skew import customer_variant
+
+        table = customer_variant(1.0, 50, 0, 2000, name="t")
+        agg = HashAggregate(
+            Filter(SeqScan(table), col("t.custkey") > lit(0)),
+            ["t.nationkey"],
+            [AggregateSpec("count")],
+        )
+        bus = TickBus(interval=200)
+        monitor = ProgressMonitor(agg, mode="once", bus=bus)
+        ExecutionEngine(agg, bus=bus, collect_rows=False).run()
+        errors = monitor.ratio_errors()
+        # After half the input, the group count estimate keeps total work
+        # within 20% of truth.
+        late = [r for a, r in errors if a > 0.5]
+        assert all(abs(r - 1.0) < 0.2 for r in late)

@@ -1,0 +1,148 @@
+"""Tests for IN / BETWEEN / IS NULL predicates and COUNT(DISTINCT)."""
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import Between, InList, IsNull, col, lit
+from repro.executor.operators import AggregateSpec, Filter, HashAggregate, SeqScan
+from repro.sql.parser import SqlParseError, parse_select
+from repro.sql.render import render_expression
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def values_table() -> Table:
+    rows = [(1, 10.0), (2, None), (3, 30.0), (4, None), (5, 50.0), (3, 33.0)]
+    return Table("v", Schema.of("k:int", "amt:float"), rows)
+
+
+class TestExpressionNodes:
+    def test_in_list(self, values_table):
+        op = Filter(SeqScan(values_table), InList(col("k"), (1, 3)))
+        op.open()
+        assert [r[0] for r in op] == [1, 3, 3]
+
+    def test_between_inclusive(self, values_table):
+        op = Filter(SeqScan(values_table), Between(col("k"), lit(2), lit(4)))
+        op.open()
+        assert [r[0] for r in op] == [2, 3, 4, 3]
+
+    def test_is_null_and_not_null(self, values_table):
+        null_rows = Filter(SeqScan(values_table), IsNull(col("amt")))
+        null_rows.open()
+        assert [r[0] for r in null_rows] == [2, 4]
+        not_null = Filter(SeqScan(values_table), IsNull(col("amt"), negated=True))
+        not_null.open()
+        assert len(list(not_null)) == 4
+
+    def test_referenced_columns(self):
+        assert InList(col("a"), (1,)).referenced_columns() == {"a"}
+        assert Between(col("a"), col("b"), lit(3)).referenced_columns() == {"a", "b"}
+        assert IsNull(col("x")).referenced_columns() == {"x"}
+
+
+class TestCountDistinct:
+    def test_counts_distinct_values_per_group(self, values_table):
+        agg = HashAggregate(
+            SeqScan(values_table),
+            ["k"],
+            [AggregateSpec("count_distinct", "amt", alias="d"),
+             AggregateSpec("count", "amt", alias="c")],
+        )
+        result = ExecutionEngine(agg).run()
+        by_key = {r[0]: r[1:] for r in result.rows}
+        assert by_key[3] == (2, 2)   # 30.0 and 33.0
+        assert by_key[2] == (0, 0)   # NULL not counted
+
+    def test_global_count_distinct(self, values_table):
+        agg = HashAggregate(
+            SeqScan(values_table), [], [AggregateSpec("count_distinct", "k")]
+        )
+        assert ExecutionEngine(agg).run().rows == [(5,)]
+
+    def test_requires_column(self):
+        from repro.common.errors import PlanError
+
+        with pytest.raises(PlanError):
+            AggregateSpec("count_distinct")
+
+
+class TestSqlParsing:
+    def test_in_predicate(self):
+        stmt = parse_select("SELECT * FROM t WHERE x IN (1, 2, 'three')")
+        assert isinstance(stmt.where, InList)
+        assert stmt.where.values == (1, 2, "three")
+
+    def test_in_requires_literals(self):
+        with pytest.raises(SqlParseError, match="literal"):
+            parse_select("SELECT * FROM t WHERE x IN (y)")
+
+    def test_between(self):
+        stmt = parse_select("SELECT * FROM t WHERE x BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, Between)
+
+    def test_between_binds_tighter_than_and(self):
+        stmt = parse_select("SELECT * FROM t WHERE x BETWEEN 1 AND 10 AND y = 2")
+        from repro.executor.expressions import And
+
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.left, Between)
+
+    def test_is_null_variants(self):
+        assert isinstance(parse_select("SELECT * FROM t WHERE x IS NULL").where, IsNull)
+        stmt = parse_select("SELECT * FROM t WHERE x IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_count_distinct(self):
+        stmt = parse_select("SELECT COUNT(DISTINCT custkey) AS d FROM orders")
+        assert stmt.items[0].func == "count_distinct"
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(SqlParseError, match="COUNT"):
+            parse_select("SELECT SUM(DISTINCT x) FROM t")
+
+    @pytest.mark.parametrize(
+        "sql_expr",
+        ["(x IN (1, 2))", "(x BETWEEN 1 AND 9)", "(x IS NULL)", "(x IS NOT NULL)"],
+    )
+    def test_render_roundtrip(self, sql_expr):
+        stmt = parse_select(f"SELECT a FROM t WHERE {sql_expr}")
+        assert render_expression(stmt.where) == sql_expr
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def db(self):
+        from repro.datagen import generate_tpch
+
+        return generate_tpch(sf=0.002, seed=29)
+
+    def test_in_where(self, db):
+        from repro.sql import run_query
+
+        result = run_query(db, "SELECT * FROM nation WHERE regionkey IN (1, 3)")
+        expected = sum(1 for r in db.table("nation") if r[2] in (1, 3))
+        assert result.row_count == expected
+
+    def test_between_matches_range(self, db):
+        from repro.sql import run_query
+
+        between = run_query(
+            db, "SELECT * FROM orders WHERE orderkey BETWEEN 100 AND 200",
+            collect_rows=False,
+        )
+        manual = run_query(
+            db, "SELECT * FROM orders WHERE orderkey >= 100 AND orderkey <= 200",
+            collect_rows=False,
+        )
+        assert between.row_count == manual.row_count
+
+    def test_count_distinct_sql(self, db):
+        from repro.sql import run_query
+
+        result = run_query(
+            db, "SELECT COUNT(DISTINCT custkey) AS d FROM orders"
+        )
+        expected = len(set(db.table("orders").column_values("custkey")))
+        assert result.rows == [(expected,)]

@@ -1,0 +1,73 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SqlLexError, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select FROM Where")
+        assert [t.value for t in toks[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == "KEYWORD" for t in toks[:-1])
+
+    def test_identifiers_preserve_case(self):
+        toks = tokenize("orders Customer my_col2")
+        assert [t.value for t in toks[:-1]] == ["orders", "Customer", "my_col2"]
+        assert all(t.kind == "IDENT" for t in toks[:-1])
+
+    def test_numbers(self):
+        toks = tokenize("42 3.14 0.5")
+        assert [t.value for t in toks[:-1]] == ["42", "3.14", "0.5"]
+        assert all(t.kind == "NUMBER" for t in toks[:-1])
+
+    def test_dotted_column_is_three_tokens(self):
+        toks = tokenize("o.custkey")
+        assert [(t.kind, t.value) for t in toks[:-1]] == [
+            ("IDENT", "o"), ("DOT", "."), ("IDENT", "custkey"),
+        ]
+
+    def test_number_then_dot_alias_not_confused(self):
+        # "t1.x" after a number: 1 stays a number only when followed by digits.
+        toks = tokenize("12.5 t1.x")
+        assert toks[0].value == "12.5"
+        assert toks[1].value == "t1"
+
+    def test_strings(self):
+        toks = tokenize("'hello world'")
+        assert toks[0].kind == "STRING"
+        assert toks[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        assert values("<= >= <> != < > =") == ["<=", ">=", "<>", "!=", "<", ">", "="]
+
+    def test_punctuation(self):
+        assert kinds("(a, b);")[:6] == ["LPAREN", "IDENT", "COMMA", "IDENT", "RPAREN", "SEMI"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("SELECT -- a comment\n x")
+        assert [t.value for t in toks[:-1]] == ["SELECT", "x"]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_rejects_unknown_characters(self):
+        with pytest.raises(SqlLexError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"

@@ -1,0 +1,119 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.executor.expressions import And, Comparison, Not, Or
+from repro.sql.ast import AggregateItem, ColumnItem, StarItem
+from repro.sql.parser import SqlParseError, parse_select
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.items[0], StarItem)
+
+    def test_columns_with_aliases(self):
+        stmt = parse_select("SELECT a, t.b AS bee, c cee FROM t")
+        assert stmt.items == [
+            ColumnItem("a"), ColumnItem("t.b", "bee"), ColumnItem("c", "cee"),
+        ]
+
+    def test_aggregates(self):
+        stmt = parse_select("SELECT COUNT(*), SUM(x) AS total, AVG(t.y) FROM t")
+        assert stmt.items[0] == AggregateItem("count", None)
+        assert stmt.items[1] == AggregateItem("sum", "x", "total")
+        assert stmt.items[2] == AggregateItem("avg", "t.y")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_select("SELECT SUM(*) FROM t")
+
+
+class TestFromAndJoins:
+    def test_base_table_alias(self):
+        stmt = parse_select("SELECT * FROM orders AS o")
+        assert stmt.base_table.name == "orders"
+        assert stmt.base_table.alias == "o"
+        stmt2 = parse_select("SELECT * FROM orders o")
+        assert stmt2.base_table.alias == "o"
+
+    def test_join_kinds(self):
+        sql = (
+            "SELECT * FROM a "
+            "JOIN b ON a.k = b.k "
+            "INNER JOIN c ON a.k = c.k "
+            "LEFT JOIN d ON a.k = d.k "
+            "LEFT OUTER JOIN e ON a.k = e.k "
+            "SEMI JOIN f ON a.k = f.k "
+            "ANTI JOIN g ON a.k = g.k"
+        )
+        stmt = parse_select(sql)
+        assert [j.kind for j in stmt.joins] == [
+            "inner", "inner", "outer", "outer", "semi", "anti",
+        ]
+
+    def test_join_condition_columns(self):
+        stmt = parse_select("SELECT * FROM a JOIN b ON a.x = b.y")
+        join = stmt.joins[0]
+        assert (join.left_column, join.right_column) == ("a.x", "b.y")
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlParseError, match="ON"):
+            parse_select("SELECT * FROM a JOIN b")
+
+
+class TestWhere:
+    def test_comparison(self):
+        stmt = parse_select("SELECT * FROM t WHERE x > 3")
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.where.op == ">"
+
+    def test_boolean_nesting_and_precedence(self):
+        stmt = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.right, And)
+
+    def test_parentheses(self):
+        stmt = parse_select("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, And)
+        assert isinstance(stmt.where.left, Or)
+
+    def test_not(self):
+        stmt = parse_select("SELECT * FROM t WHERE NOT x = 1")
+        assert isinstance(stmt.where, Not)
+
+    def test_literals(self):
+        stmt = parse_select("SELECT * FROM t WHERE s = 'abc' AND f < 2.5 AND n = -3")
+        conj = stmt.where
+        assert isinstance(conj, And)
+
+    def test_null_literal(self):
+        stmt = parse_select("SELECT * FROM t WHERE x = NULL")
+        assert stmt.where.right.value is None
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        stmt = parse_select("SELECT a, COUNT(*) FROM t GROUP BY a, t.b")
+        assert stmt.group_by == ["a", "t.b"]
+
+    def test_order_by(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [(o.column, o.descending) for o in stmt.order_by] == [
+            ("a", True), ("b", False), ("c", False),
+        ]
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_optional_semicolon(self):
+        assert parse_select("SELECT a FROM t;").limit is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError, match="trailing"):
+            parse_select("SELECT a FROM t LIMIT 1 nonsense")
+
+    def test_error_reports_position(self):
+        with pytest.raises(SqlParseError, match="line 1"):
+            parse_select("SELECT FROM t")

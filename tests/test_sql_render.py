@@ -1,0 +1,91 @@
+"""Direct unit tests for the SQL renderer."""
+
+import pytest
+
+from repro.executor.expressions import BinaryOp, col, lit
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    StarItem,
+    TableRef,
+)
+from repro.sql.render import render_expression, render_select
+
+
+class TestRenderExpression:
+    def test_literals(self):
+        assert render_expression(lit(5)) == "5"
+        assert render_expression(lit("x")) == "'x'"
+        assert render_expression(lit(None)) == "NULL"
+
+    def test_comparison_and_boolean(self):
+        expr = (col("a") > lit(1)) & ((col("b") == lit(2)) | ~(col("c") < lit(3)))
+        assert render_expression(expr) == (
+            "((a > 1) AND ((b = 2) OR (NOT (c < 3))))"
+        )
+
+    def test_arithmetic(self):
+        assert render_expression(BinaryOp("+", col("a"), lit(1))) == "(a + 1)"
+
+    def test_unrenderable_node_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError, match="cannot render"):
+            render_expression(Weird())
+
+
+class TestRenderSelect:
+    def test_full_statement(self):
+        stmt = SelectStatement(
+            items=[
+                ColumnItem("n.name", "nation"),
+                AggregateItem("count", None, "orders"),
+                AggregateItem("count_distinct", "o.custkey", "custs"),
+            ],
+            distinct=False,
+            base_table=TableRef("orders", "o"),
+            joins=[JoinClause(TableRef("nation", "n"), "o.nationkey", "n.nationkey")],
+            where=col("o.totalprice") > lit(100),
+            group_by=["n.name"],
+            having=col("orders") > lit(5),
+            order_by=[OrderItem("orders", descending=True)],
+            limit=10,
+        )
+        assert render_select(stmt) == (
+            "SELECT n.name AS nation, COUNT(*) AS orders, "
+            "COUNT(DISTINCT o.custkey) AS custs "
+            "FROM orders AS o "
+            "JOIN nation AS n ON o.nationkey = n.nationkey "
+            "WHERE (o.totalprice > 100) "
+            "GROUP BY n.name "
+            "HAVING (orders > 5) "
+            "ORDER BY orders DESC "
+            "LIMIT 10"
+        )
+
+    def test_star_and_distinct(self):
+        stmt = SelectStatement(
+            items=[StarItem()], distinct=True, base_table=TableRef("t")
+        )
+        assert render_select(stmt) == "SELECT DISTINCT * FROM t"
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("inner", "JOIN"),
+            ("outer", "LEFT OUTER JOIN"),
+            ("semi", "SEMI JOIN"),
+            ("anti", "ANTI JOIN"),
+        ],
+    )
+    def test_join_kinds(self, kind, expected):
+        stmt = SelectStatement(
+            items=[StarItem()],
+            base_table=TableRef("a"),
+            joins=[JoinClause(TableRef("b"), "a.k", "b.k", kind)],
+        )
+        assert expected in render_select(stmt)

@@ -1,0 +1,136 @@
+"""Property-based round-trip tests: render(parse(render(ast))) == render(ast)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.executor.expressions import (
+    And,
+    Between,
+    Col,
+    Comparison,
+    Const,
+    InList,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.sql.ast import (
+    AggregateItem,
+    ColumnItem,
+    JoinClause,
+    OrderItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.parser import parse_select
+from repro.sql.render import render_expression, render_select
+
+from repro.sql.lexer import KEYWORDS
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    # Identifiers must not collide with keywords of the subset.
+    lambda s: s.upper() not in KEYWORDS
+)
+columns = st.one_of(
+    identifiers,
+    st.tuples(identifiers, identifiers).map(lambda t: f"{t[0]}.{t[1]}"),
+)
+literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000).map(Const),
+    st.text(alphabet="abcxyz ", max_size=8).map(Const),
+    st.just(Const(None)),
+)
+operands = st.one_of(columns.map(Col), literals)
+comparisons = st.builds(
+    Comparison,
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    operands,
+    operands,
+)
+literal_values = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.text(alphabet="abcxyz ", max_size=8),
+    st.none(),
+)
+predicates = st.one_of(
+    comparisons,
+    st.builds(
+        InList,
+        operands,
+        st.lists(literal_values, min_size=1, max_size=4).map(tuple),
+    ),
+    st.builds(Between, operands, operands, operands),
+    st.builds(IsNull, operands, st.booleans()),
+)
+expressions = st.recursive(
+    predicates,
+    lambda children: st.one_of(
+        st.builds(And, children, children),
+        st.builds(Or, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=6,
+)
+
+items = st.lists(
+    st.one_of(
+        st.builds(ColumnItem, columns, st.none() | identifiers),
+        st.builds(
+            AggregateItem,
+            st.sampled_from(["count", "sum", "min", "max", "avg"]),
+            columns,
+            st.none() | identifiers,
+        ),
+        st.just(AggregateItem("count", None)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+joins = st.lists(
+    st.builds(
+        JoinClause,
+        st.builds(TableRef, identifiers, st.none() | identifiers),
+        columns,
+        columns,
+        st.sampled_from(["inner", "outer", "semi", "anti"]),
+    ),
+    max_size=3,
+)
+statements = st.builds(
+    SelectStatement,
+    items=items,
+    distinct=st.booleans(),
+    base_table=st.builds(TableRef, identifiers, st.none() | identifiers),
+    joins=joins,
+    where=st.none() | expressions,
+    group_by=st.lists(columns, max_size=3),
+    having=st.none() | comparisons,
+    order_by=st.lists(st.builds(OrderItem, columns, st.booleans()), max_size=2),
+    limit=st.none() | st.integers(min_value=0, max_value=999),
+)
+
+
+class TestRoundTrip:
+    @given(statements)
+    def test_render_parse_fixpoint(self, stmt):
+        """Rendering is a fixpoint under parse ∘ render."""
+        sql = render_select(stmt)
+        reparsed = parse_select(sql)
+        assert render_select(reparsed) == sql
+
+    @given(expressions)
+    def test_expression_roundtrip(self, expr):
+        sql = f"SELECT x FROM t WHERE {render_expression(expr)}"
+        reparsed = parse_select(sql)
+        assert render_expression(reparsed.where) == render_expression(expr)
+
+    @given(statements)
+    def test_structural_equivalence(self, stmt):
+        """Key clauses survive the round trip structurally."""
+        reparsed = parse_select(render_select(stmt))
+        assert reparsed.distinct == stmt.distinct
+        assert reparsed.base_table == stmt.base_table
+        assert reparsed.joins == stmt.joins
+        assert reparsed.group_by == stmt.group_by
+        assert reparsed.limit == stmt.limit
+        assert [type(i) for i in reparsed.items] == [type(i) for i in stmt.items]

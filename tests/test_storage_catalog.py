@@ -1,0 +1,55 @@
+"""Tests for the catalog."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.storage import Catalog
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table)
+        assert cat.table("tiny") is tiny_table
+        assert "tiny" in cat
+        assert cat.table_names() == ["tiny"]
+
+    def test_unknown_table_raises_with_known_names(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table)
+        with pytest.raises(CatalogError, match="tiny"):
+            cat.table("nope")
+
+    def test_statistics_lazily_computed(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table, analyze=False)
+        stats = cat.statistics("tiny")
+        assert stats.row_count == 5
+
+    def test_reregister_invalidates_stats(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table)
+        first = cat.statistics("tiny")
+        cat.register(tiny_table.filtered(lambda r: r[0] > 3, name="tiny"))
+        second = cat.statistics("tiny")
+        assert second.row_count == 2
+        assert first.row_count == 5
+
+    def test_drop(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table)
+        cat.drop("tiny")
+        assert "tiny" not in cat
+        with pytest.raises(CatalogError):
+            cat.drop("tiny")
+
+    def test_row_count(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table)
+        assert cat.row_count("tiny") == 5
+
+    def test_iteration(self, tiny_table):
+        cat = Catalog()
+        cat.register(tiny_table)
+        cat.register(tiny_table.aliased("other"))
+        assert sorted(cat) == ["other", "tiny"]

@@ -1,0 +1,72 @@
+"""Tests for block-level random sampling."""
+
+import pytest
+
+from repro.storage.sampling import plan_block_sample
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def make_table(rows: int, block_size: int = 10) -> Table:
+    return Table(
+        "t", Schema.of("k:int"), [(i,) for i in range(rows)], block_size=block_size
+    )
+
+
+class TestPlanBlockSample:
+    def test_zero_fraction_is_empty(self):
+        sample = plan_block_sample(make_table(100), 0.0)
+        assert sample.sampled_block_ids == ()
+        assert sample.sample_row_count == 0
+        assert list(sample.iter_all()) == list(make_table(100))
+
+    def test_full_fraction_covers_everything(self):
+        sample = plan_block_sample(make_table(100), 1.0, seed=1)
+        assert sample.fraction == 1.0
+        assert sorted(r[0] for r in sample.iter_sample()) == list(range(100))
+        assert list(sample.iter_remainder()) == []
+
+    def test_fraction_at_least_target(self):
+        table = make_table(1000)
+        sample = plan_block_sample(table, 0.1, seed=2)
+        assert 0.1 <= sample.fraction <= 0.1 + 10 / 1000 + 1e-9
+
+    def test_partition_property(self):
+        """Sample + remainder = whole table, no duplicates (the antijoin)."""
+        table = make_table(500, block_size=7)
+        sample = plan_block_sample(table, 0.25, seed=3)
+        seen = [r[0] for r in sample.iter_all()]
+        assert sorted(seen) == list(range(500))
+        assert len(set(sample.sampled_block_ids) & set(sample.remainder_block_ids)) == 0
+
+    def test_deterministic_per_seed(self):
+        table = make_table(300)
+        a = plan_block_sample(table, 0.2, seed=9)
+        b = plan_block_sample(table, 0.2, seed=9)
+        assert a.sampled_block_ids == b.sampled_block_ids
+
+    def test_different_seed_different_sample(self):
+        table = make_table(1000)
+        a = plan_block_sample(table, 0.2, seed=1)
+        b = plan_block_sample(table, 0.2, seed=2)
+        assert a.sampled_block_ids != b.sampled_block_ids
+
+    def test_sample_blocks_randomly_ordered(self):
+        table = make_table(2000)
+        sample = plan_block_sample(table, 0.5, seed=4)
+        assert list(sample.sampled_block_ids) != sorted(sample.sampled_block_ids)
+
+    def test_remainder_in_table_order(self):
+        table = make_table(200)
+        sample = plan_block_sample(table, 0.3, seed=5)
+        assert list(sample.remainder_block_ids) == sorted(sample.remainder_block_ids)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rejects_bad_fraction(self, bad):
+        with pytest.raises(ValueError):
+            plan_block_sample(make_table(10), bad)
+
+    def test_empty_table(self):
+        sample = plan_block_sample(make_table(0), 0.5)
+        assert sample.sample_row_count == 0
+        assert sample.fraction == 0.0

@@ -1,0 +1,92 @@
+"""Tests for schemas and column resolution."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.schema import Column, ColumnType, Schema
+
+
+class TestColumn:
+    def test_qualified_name(self):
+        assert Column("x", ColumnType.INT, "t").qualified_name == "t.x"
+        assert Column("x").qualified_name == "x"
+
+    def test_rejects_dotted_names(self):
+        with pytest.raises(SchemaError):
+            Column("a.b")
+        with pytest.raises(SchemaError):
+            Column("a", qualifier="t.u")
+
+    def test_with_qualifier(self):
+        c = Column("x", ColumnType.STR).with_qualifier("r")
+        assert c.qualifier == "r"
+        assert c.ctype is ColumnType.STR
+
+    def test_width_bytes(self):
+        assert ColumnType.INT.width_bytes == 4
+        assert ColumnType.FLOAT.width_bytes == 8
+        assert ColumnType.STR.width_bytes == 16
+
+
+class TestSchema:
+    def test_of_parses_specs(self):
+        s = Schema.of("a:int", "b:str", "c:float", qualifier="t")
+        assert s.names() == ["t.a", "t.b", "t.c"]
+        assert s.column("b").ctype is ColumnType.STR
+
+    def test_default_type_is_int(self):
+        s = Schema.of("k")
+        assert s.column("k").ctype is ColumnType.INT
+
+    def test_index_of_bare_and_qualified(self):
+        s = Schema.of("a:int", "b:int", qualifier="t")
+        assert s.index_of("a") == 0
+        assert s.index_of("t.b") == 1
+
+    def test_unknown_column_raises(self):
+        s = Schema.of("a:int")
+        with pytest.raises(SchemaError, match="unknown column"):
+            s.index_of("zzz")
+
+    def test_ambiguous_bare_name_raises(self):
+        s = Schema(
+            [Column("k", qualifier="l"), Column("k", qualifier="r")]
+        )
+        with pytest.raises(SchemaError, match="ambiguous"):
+            s.index_of("k")
+        # Qualified lookups still work.
+        assert s.index_of("l.k") == 0
+        assert s.index_of("r.k") == 1
+
+    def test_duplicate_qualified_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Column("k", qualifier="t"), Column("k", qualifier="t")])
+
+    def test_concat_for_join_output(self):
+        left = Schema.of("a:int", qualifier="l")
+        right = Schema.of("b:int", qualifier="r")
+        joined = left.concat(right)
+        assert joined.names() == ["l.a", "r.b"]
+
+    def test_project(self):
+        s = Schema.of("a:int", "b:str", "c:float", qualifier="t")
+        p = s.project(["c", "a"])
+        assert p.names() == ["t.c", "t.a"]
+
+    def test_row_width_bytes(self):
+        s = Schema.of("a:int", "b:str", "c:float")
+        assert s.row_width_bytes() == 4 + 16 + 8
+
+    def test_with_qualifier_requalifies_all(self):
+        s = Schema.of("a:int", "b:int", qualifier="t").with_qualifier("u")
+        assert s.names() == ["u.a", "u.b"]
+
+    def test_has_column(self):
+        s = Schema.of("a:int", qualifier="t")
+        assert s.has_column("a")
+        assert s.has_column("t.a")
+        assert not s.has_column("t.b")
+
+    def test_equality(self):
+        assert Schema.of("a:int") == Schema.of("a:int")
+        assert Schema.of("a:int") != Schema.of("b:int")

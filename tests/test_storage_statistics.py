@@ -1,0 +1,92 @@
+"""Tests for base-table statistics."""
+
+import pytest
+
+from repro.storage.schema import Schema
+from repro.storage.statistics import build_statistics
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def stats_table() -> Table:
+    rows = [(i, i % 10, float(i)) for i in range(1000)]
+    return Table("s", Schema.of("pk:int", "mod:int", "val:float"), rows)
+
+
+class TestBuildStatistics:
+    def test_row_count_and_distincts(self, stats_table):
+        stats = build_statistics(stats_table)
+        assert stats.row_count == 1000
+        assert stats.column("pk").n_distinct == 1000
+        assert stats.column("mod").n_distinct == 10
+
+    def test_min_max(self, stats_table):
+        col = build_statistics(stats_table).column("pk")
+        assert col.min_value == 0
+        assert col.max_value == 999
+
+    def test_histogram_mass(self, stats_table):
+        col = build_statistics(stats_table).column("pk")
+        assert sum(col.histogram) == 1000
+
+    def test_mcvs_ordered_by_frequency(self):
+        rows = [(v,) for v in [1] * 50 + [2] * 30 + [3] * 20]
+        t = Table("m", Schema.of("x:int"), rows)
+        mcvs = build_statistics(t).column("x").mcvs
+        assert mcvs[0] == (1, 50)
+        assert mcvs[1] == (2, 30)
+
+    def test_column_subset(self, stats_table):
+        stats = build_statistics(stats_table, columns=["mod"])
+        assert stats.has_column("mod")
+        assert not stats.has_column("pk")
+
+    def test_missing_column_raises(self, stats_table):
+        stats = build_statistics(stats_table, columns=["mod"])
+        with pytest.raises(KeyError):
+            stats.column("pk")
+
+
+class TestSelectivity:
+    def test_eq_selectivity_via_mcv(self):
+        rows = [(v,) for v in [1] * 90 + [2] * 10]
+        col = build_statistics(Table("t", Schema.of("x:int"), rows)).column("x")
+        assert col.selectivity_eq(1) == pytest.approx(0.9)
+        assert col.selectivity_eq(2) == pytest.approx(0.1)
+
+    def test_eq_selectivity_unseen_value(self):
+        rows = [(v,) for v in range(100)]
+        col = build_statistics(Table("t", Schema.of("x:int"), rows)).column("x")
+        # Value not in MCVs: uniform over remaining distincts.
+        sel = col.selectivity_eq(55)
+        assert 0 < sel < 0.05
+
+    def test_range_selectivity_uniform(self):
+        rows = [(i,) for i in range(1000)]
+        col = build_statistics(Table("t", Schema.of("x:int"), rows)).column("x")
+        assert col.selectivity_range(None, 500) == pytest.approx(0.5, abs=0.05)
+        assert col.selectivity_range(250, 750) == pytest.approx(0.5, abs=0.05)
+
+    def test_range_selectivity_bounds(self):
+        rows = [(i,) for i in range(100)]
+        col = build_statistics(Table("t", Schema.of("x:int"), rows)).column("x")
+        assert col.selectivity_range(None, None) == pytest.approx(1.0, abs=0.01)
+        assert col.selectivity_range(200, 300) == 0.0
+
+    def test_no_histogram_default(self):
+        rows = [("a",), ("b",)]
+        col = build_statistics(Table("t", Schema.of("x:str"), rows)).column("x")
+        assert col.selectivity_range(None, 5) == pytest.approx(1 / 3)
+
+
+class TestSampledStatistics:
+    def test_sampled_flag_and_rowcount(self, stats_table):
+        stats = build_statistics(stats_table, sample_rows=100, seed=1)
+        assert stats.row_count == 1000  # row count always exact
+        assert stats.column("mod").sampled
+
+    def test_sampled_distincts_reasonable(self, stats_table):
+        stats = build_statistics(stats_table, sample_rows=200, seed=1)
+        # mod has 10 values; any sample of 200 should see all of them.
+        assert stats.column("mod").n_distinct >= 10
+        assert stats.column("mod").n_distinct <= 1000

@@ -1,0 +1,61 @@
+"""Tests for block-structured tables."""
+
+import pytest
+
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+class TestTableBasics:
+    def test_len_and_iter(self, tiny_table):
+        assert len(tiny_table) == 5
+        assert list(tiny_table)[0] == (1, "a", 1.5)
+
+    def test_schema_gets_table_qualifier(self, tiny_table):
+        assert tiny_table.schema.names() == ["tiny.id", "tiny.name", "tiny.score"]
+
+    def test_column_values(self, tiny_table):
+        assert tiny_table.column_values("id") == [1, 2, 3, 4, 5]
+        assert tiny_table.column_values("tiny.name") == ["a", "b", "c", "d", "e"]
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            Table("t", Schema.of("a:int"), [(1,)], block_size=0)
+
+
+class TestBlocks:
+    def test_block_count(self, tiny_table):
+        assert tiny_table.num_blocks == 2  # 3 + 2 rows
+
+    def test_block_contents(self, tiny_table):
+        assert [r[0] for r in tiny_table.block(0)] == [1, 2, 3]
+        assert [r[0] for r in tiny_table.block(1)] == [4, 5]
+
+    def test_block_out_of_range(self, tiny_table):
+        with pytest.raises(IndexError):
+            tiny_table.block(2)
+
+    def test_iter_blocks_subset(self, tiny_table):
+        rows = list(tiny_table.iter_blocks([1]))
+        assert [r[0] for r in rows] == [4, 5]
+
+    def test_iter_blocks_all(self, tiny_table):
+        assert list(tiny_table.iter_blocks()) == list(tiny_table)
+
+    def test_empty_table(self):
+        t = Table("e", Schema.of("a:int"), [])
+        assert t.num_blocks == 0
+        assert list(t.iter_blocks()) == []
+
+
+class TestDerivation:
+    def test_aliased_shares_rows(self, tiny_table):
+        view = tiny_table.aliased("v")
+        assert view.name == "v"
+        assert view.schema.names() == ["v.id", "v.name", "v.score"]
+        assert view.rows() is tiny_table.rows()
+
+    def test_filtered(self, tiny_table):
+        sub = tiny_table.filtered(lambda r: r[0] % 2 == 1, name="odds")
+        assert [r[0] for r in sub] == [1, 3, 5]
+        assert sub.name == "odds"

@@ -1,0 +1,92 @@
+"""Tests for the canned paper workloads."""
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.executor.operators import HashJoin, SampleScan
+from repro.executor.plan import walk
+from repro.workloads import (
+    paper_binary_join,
+    paper_pipeline_diff_attr,
+    paper_pipeline_same_attr,
+    paper_pkfk_join_with_selection,
+    tpch_q8_like,
+)
+
+
+class TestBinaryJoinSetup:
+    def test_tables_registered_and_sized(self):
+        setup = paper_binary_join(z=1.0, domain_size=100, num_rows=500)
+        assert setup.catalog.row_count("cust_build") == 500
+        assert setup.catalog.row_count("cust_probe") == 500
+
+    def test_annotated_and_runnable(self):
+        setup = paper_binary_join(z=1.0, domain_size=100, num_rows=500)
+        assert setup.join.estimated_cardinality is not None
+        result = ExecutionEngine(setup.plan, collect_rows=False).run()
+        assert result.row_count > 0
+
+    def test_sampling_scans_used_when_requested(self):
+        setup = paper_binary_join(z=0.0, domain_size=10, num_rows=200, sample_fraction=0.1)
+        scans = [op for op in walk(setup.plan) if isinstance(op, SampleScan)]
+        assert len(scans) == 2
+
+
+class TestPkFkSetup:
+    def test_selection_included(self):
+        setup = paper_pkfk_join_with_selection(
+            domain_size=1000, num_rows=500, selection_cutoff=400
+        )
+        result = ExecutionEngine(setup.plan, collect_rows=False).run()
+        # PK-FK join after selection: exactly the customers under the cutoff.
+        customers = setup.catalog.table("customer_sk")
+        expected = sum(1 for v in customers.column_values("nationkey") if v < 400)
+        assert result.row_count == expected
+
+
+class TestPipelineSetups:
+    def test_same_attr_is_probe_chain(self):
+        setup = paper_pipeline_same_attr(z=0.0, domain_size=50, num_rows=300)
+        assert setup.upper_join.probe_child is setup.lower_join
+
+    @pytest.mark.parametrize("case", [1, 2])
+    def test_diff_attr_cases_runnable(self, case):
+        setup = paper_pipeline_diff_attr(
+            case, lower_z=1.0, upper_z=1.0, domain_size=500, num_rows=400
+        )
+        result = ExecutionEngine(setup.plan, collect_rows=False).run()
+        assert setup.lower_join.tuples_emitted > 0
+        assert result.row_count == setup.upper_join.tuples_emitted
+
+    def test_case_validation(self):
+        with pytest.raises(ValueError):
+            paper_pipeline_diff_attr(3, 1.0, 1.0)
+
+
+class TestQ8Setup:
+    def test_structure(self):
+        setup = tpch_q8_like(sf=0.002, skew_z=1.0, sample_fraction=0.0)
+        assert len(setup.joins) == 7
+        joins_in_plan = [op for op in walk(setup.plan) if isinstance(op, HashJoin)]
+        assert len(joins_in_plan) == 7
+
+    def test_runnable_with_filters(self):
+        setup = tpch_q8_like(sf=0.002, skew_z=2.0, sample_fraction=0.1)
+        result = ExecutionEngine(setup.plan, collect_rows=False).run()
+        assert result.row_count >= 1  # grouped output
+
+    def test_optimizer_misestimates_under_skew(self):
+        """The precondition for Figure 8: at least one join is off by 3x."""
+        setup = tpch_q8_like(sf=0.002, skew_z=2.0, sample_fraction=0.0)
+        ExecutionEngine(setup.plan, collect_rows=False).run()
+        ratios = [
+            j.tuples_emitted / max(j.estimated_cardinality, 1.0)
+            for j in setup.joins
+        ]
+        assert max(ratios) > 3.0
+
+    def test_aliases_do_not_clobber_nation(self):
+        setup = tpch_q8_like(sf=0.002, skew_z=1.0)
+        assert setup.catalog.row_count("nation") == 25
+        assert setup.catalog.row_count("n1") == 25
+        assert setup.catalog.row_count("n2") == 25
