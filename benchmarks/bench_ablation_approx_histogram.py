@@ -19,7 +19,6 @@ import pytest
 from benchmarks.conftest import CUSTOMER_ROWS, run_once
 from repro.core.histogram import BucketizedHistogram, FrequencyHistogram
 from repro.core.join_estimators import attach_once_estimator
-from repro.executor.engine import ExecutionEngine
 from repro.executor.operators import HashJoin, SeqScan
 from repro.datagen.skew import customer_variant
 

@@ -19,7 +19,6 @@ probe pass.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import CUSTOMER_ROWS, run_once
 from repro.core.pipeline_estimators import HashJoinChainEstimator

@@ -14,7 +14,6 @@ import time
 from benchmarks.conftest import CUSTOMER_ROWS, run_once
 from repro.core.pipeline_estimators import HashJoinChainEstimator
 from repro.datagen.skew import customer_variant
-from repro.executor.engine import ExecutionEngine
 from repro.executor.operators import HashJoin, SampleScan, SeqScan
 
 FRACTIONS = [0.01, 0.05, 0.10]

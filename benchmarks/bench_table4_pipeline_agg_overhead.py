@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from benchmarks.conftest import CUSTOMER_ROWS, TPCH_SF, run_once
 from repro.core.aggregate_estimators import attach_group_estimator

@@ -1,0 +1,27 @@
+"""Static analysis: plan semantic checks and codebase invariant lint.
+
+Two passes share one diagnostic framework (:mod:`repro.analysis.diagnostics`):
+
+* Pass 1 — :func:`analyze_plan` type-checks expressions against the schemas
+  flowing through a physical plan and verifies the paper's pipeline
+  invariants (blocking build / driver probe, push-down classification)
+  before a single ``getnext()`` call.
+* Pass 2 — :mod:`repro.analysis.lint` is a Python-``ast`` rule engine
+  (``python -m repro.analysis.lint src/``) guarding the ``K_i`` accounting,
+  determinism and operator-declaration invariants at the source level.
+"""
+
+from repro.analysis.diagnostics import CODES, Diagnostic, DiagnosticReport, Severity
+from repro.analysis.plancheck import analyze_plan
+from repro.analysis.typecheck import ExprType, TypeChecker, infer_type
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ExprType",
+    "Severity",
+    "TypeChecker",
+    "analyze_plan",
+    "infer_type",
+]

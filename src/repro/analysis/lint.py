@@ -1,0 +1,330 @@
+"""Codebase invariant lint (Pass 2): a Python-``ast`` rule engine.
+
+Run as ``python -m repro.analysis.lint src/`` (non-zero exit on violations).
+The rules protect the invariants the whole getnext accounting model depends
+on — things no runtime assertion can catch because they only break when
+someone writes new code:
+
+* **R001** — no subclass writes ``tuples_emitted`` outside
+  ``Operator.next()``. That single counter *is* the ``K_i`` of the paper's
+  model; an operator that bumps or resets it corrupts ``C(Q)`` silently.
+* **R002** — no ``random`` / ``numpy.random`` use outside
+  ``repro/common/rng.py``. All randomness flows through the seeded factory
+  so runs are reproducible.
+* **R003** — no bare ``except:``. Swallowing ``KeyboardInterrupt`` inside
+  an operator loop hangs long queries, the exact scenario progress
+  indicators exist for.
+* **R004** — every concrete ``Operator`` subclass declares (or inherits
+  from a concrete ancestor) ``op_name``, ``children`` and
+  ``output_schema``. The analyzer, EXPLAIN and pipeline decomposition all
+  dispatch on these.
+
+The engine parses every file once, builds a cross-module class registry so
+inheritance resolves through intermediate bases (``SampleScan -> SeqScan``,
+``HashAggregate -> _AggregateBase``), then applies the rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["RULES", "Violation", "lint_paths", "main"]
+
+#: Rule id -> one-line description (kept in sync with docs/ANALYSIS.md).
+RULES: dict[str, str] = {
+    "R001": "tuples_emitted may only be written by Operator.next()",
+    "R002": "random/numpy.random are forbidden outside repro.common.rng",
+    "R003": "bare `except:` clauses are forbidden",
+    "R004": "Operator subclasses must declare op_name, children and output_schema",
+}
+
+#: The one module allowed to touch raw RNG constructors.
+_RNG_MODULE_SUFFIX = ("repro", "common", "rng.py")
+
+#: Members R004 requires on concrete Operator subclasses.
+_REQUIRED_OPERATOR_MEMBERS = ("op_name", "children", "output_schema")
+
+
+@dataclass(frozen=True)
+class Violation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    path: str
+    line: int
+    bases: list[str] = field(default_factory=list)
+    members: set[str] = field(default_factory=set)
+    has_abstract_methods: bool = False
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Last dotted segment of a base-class expression (``x.Operator`` -> ``Operator``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _class_info(node: ast.ClassDef, path: str) -> _ClassInfo:
+    info = _ClassInfo(name=node.name, path=path, line=node.lineno)
+    for base in node.bases:
+        name = _base_name(base)
+        if name is not None:
+            info.bases.append(name)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.members.add(stmt.name)
+            for deco in stmt.decorator_list:
+                if _base_name(deco) == "abstractmethod":
+                    info.has_abstract_methods = True
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    info.members.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            info.members.add(stmt.target.id)
+    return info
+
+
+class _Registry:
+    """Cross-module class table with by-name inheritance resolution."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, _ClassInfo] = {}
+
+    def add_module(self, tree: ast.Module, path: str) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                self.classes.setdefault(node.name, _class_info(node, path))
+
+    def is_operator_subclass(self, name: str, _seen: frozenset[str] = frozenset()) -> bool:
+        """True for strict descendants of ``Operator`` (not Operator itself)."""
+        info = self.classes.get(name)
+        if info is None or name in _seen:
+            return False
+        seen = _seen | {name}
+        for base in info.bases:
+            if base == "Operator" or self.is_operator_subclass(base, seen):
+                return True
+        return False
+
+    def effective_members(self, name: str, _seen: frozenset[str] = frozenset()) -> set[str]:
+        """Members declared on ``name`` or inherited from registry ancestors,
+        excluding ``Operator`` itself (its defaults/abstracts don't count as
+        subclass declarations)."""
+        if name == "Operator" or name in _seen:
+            return set()
+        info = self.classes.get(name)
+        if info is None:
+            return set()
+        members = set(info.members)
+        for base in info.bases:
+            members |= self.effective_members(base, _seen | {name})
+        return members
+
+
+# -- rules ---------------------------------------------------------------------
+
+
+def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
+    """Writes to ``tuples_emitted`` outside ``Operator.next``/``__init__``."""
+    violations: list[Violation] = []
+
+    def is_counter_write(stmt: ast.stmt) -> int | None:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr == "tuples_emitted":
+                return stmt.lineno
+        return None
+
+    def visit(node: ast.AST, class_name: str | None, func_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name, None)
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, class_name, child.name)
+                continue
+            line = is_counter_write(child) if isinstance(child, ast.stmt) else None
+            allowed = class_name == "Operator" and func_name in ("next", "__init__")
+            if line is not None and not allowed:
+                where = f"{class_name}.{func_name}" if class_name else func_name or "module"
+                violations.append(
+                    Violation(
+                        "R001",
+                        path,
+                        line,
+                        f"write to tuples_emitted in {where}; the K_i counter "
+                        "is maintained solely by Operator.next()",
+                    )
+                )
+            if isinstance(child, ast.stmt):
+                visit(child, class_name, func_name)
+
+    visit(tree, None, None)
+    return violations
+
+
+def _rule_r002(tree: ast.Module, path: str) -> list[Violation]:
+    """``random`` / ``numpy.random`` outside the seeded-rng module."""
+    if Path(path).parts[-3:] == _RNG_MODULE_SUFFIX:
+        return []
+    violations: list[Violation] = []
+
+    def flag(line: int, what: str) -> None:
+        violations.append(
+            Violation(
+                "R002",
+                path,
+                line,
+                f"{what}; use repro.common.rng.make_rng for deterministic seeds",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random" or alias.name.startswith("numpy.random"):
+                    flag(node.lineno, f"import of {alias.name!r}")
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                flag(node.lineno, f"import from {module!r}")
+            elif module == "numpy" and any(a.name == "random" for a in node.names):
+                flag(node.lineno, "import of numpy.random")
+        elif isinstance(node, ast.Attribute) and node.attr == "random":
+            if isinstance(node.value, ast.Name) and node.value.id in ("numpy", "np"):
+                flag(node.lineno, "use of numpy.random")
+    return violations
+
+
+def _rule_r003(tree: ast.Module, path: str) -> list[Violation]:
+    """Bare ``except:`` clauses."""
+    return [
+        Violation(
+            "R003",
+            path,
+            node.lineno,
+            "bare except swallows KeyboardInterrupt/SystemExit; name the "
+            "exception types",
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is None
+    ]
+
+
+def _rule_r004(registry: _Registry) -> list[Violation]:
+    """Concrete Operator subclasses missing required declarations."""
+    violations: list[Violation] = []
+    for name, info in sorted(registry.classes.items()):
+        if not registry.is_operator_subclass(name):
+            continue
+        # Abstract intermediates opt out: leading-underscore names or any
+        # @abstractmethod of their own.
+        if name.startswith("_") or info.has_abstract_methods:
+            continue
+        members = registry.effective_members(name)
+        missing = [m for m in _REQUIRED_OPERATOR_MEMBERS if m not in members]
+        if missing:
+            violations.append(
+                Violation(
+                    "R004",
+                    info.path,
+                    info.line,
+                    f"Operator subclass {name} does not declare or inherit "
+                    f"{', '.join(missing)}",
+                )
+            )
+    return violations
+
+
+# -- engine --------------------------------------------------------------------
+
+
+def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; returns sorted violations."""
+    selected = set(RULES) if rules is None else rules
+    unknown = selected - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown lint rules: {sorted(unknown)}")
+    registry = _Registry()
+    modules: list[tuple[ast.Module, str]] = []
+    violations: list[Violation] = []
+    for file in _collect_files(paths):
+        text = file.read_text()
+        try:
+            tree = ast.parse(text, filename=str(file))
+        except SyntaxError as exc:
+            violations.append(
+                Violation("R003", str(file), exc.lineno or 0, f"syntax error: {exc.msg}")
+            )
+            continue
+        modules.append((tree, str(file)))
+        registry.add_module(tree, str(file))
+    per_module = {"R001": _rule_r001, "R002": _rule_r002, "R003": _rule_r003}
+    for tree, path in modules:
+        for rule_id, rule in per_module.items():
+            if rule_id in selected:
+                violations.extend(rule(tree, path))
+    if "R004" in selected:
+        violations.extend(_rule_r004(registry))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Codebase invariant lint (rules R001-R004)",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    rules = set(args.rules.split(",")) if args.rules else None
+    try:
+        violations = lint_paths(args.paths, rules)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,403 @@
+"""Plan semantic analyzer (Pass 1): check a physical plan before execution.
+
+Progress `C(Q)/T(Q)` is only trustworthy if the plan the estimators observe
+is *exactly* what they assume: every column reference resolves against the
+schema actually flowing through the tree, join keys are type-compatible,
+and the pipeline declarations (``blocking_child_indexes`` /
+``driver_child_index``) decompose the plan into valid pipelines with a
+well-defined driver. This pass walks a plan tree and verifies all of that
+statically — no ``open()``/``next()`` call is ever made — reporting through
+the shared :class:`~repro.analysis.diagnostics.DiagnosticReport`:
+
+* **Structure** (P001–P005): duplicate nodes, out-of-range blocking/driver
+  child indexes, non-runnable operator state, driver-also-blocking edges.
+* **Typing** (T*/J*/A*): predicates and projections type-check against
+  their input schemas, join keys resolve on both sides with compatible
+  types, GROUP BY and aggregate inputs resolve (sum/avg need numerics).
+* **Pipeline invariants** (I001/I002): hash joins must expose a blocking
+  build and a driver probe — the shape ONCE estimation requires — and every
+  child edge must be classified so pipeline decomposition can attribute
+  work.
+* **Estimator applicability** (C001–C102): each maximal hash-join chain is
+  classified the way Algorithm 1 will see it — same-attribute push-down,
+  Case 1 (another base-stream attribute) or Case 2 (derived histogram) —
+  and chains the push-down framework cannot handle are flagged as falling
+  back to the dne estimator *before* the query runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.typecheck import ExprType, TypeChecker, column_expr_type
+from repro.executor.operators.aggregate import _AggregateBase
+from repro.executor.operators.base import Operator, OperatorState
+from repro.executor.operators.hash_join import HashJoin
+from repro.executor.operators.merge_join import SortMergeJoin
+from repro.executor.operators.nested_loops import NestedLoopsJoin
+from repro.executor.operators.project import Project
+from repro.executor.operators.scan import IndexScan
+from repro.executor.operators.sort import Sort
+from repro.storage.schema import Schema
+
+__all__ = ["analyze_plan"]
+
+
+def _location(op: Operator) -> str:
+    return f"node {op.describe()}"
+
+
+def _safe_walk(root: Operator, report: DiagnosticReport) -> list[Operator]:
+    """Pre-order walk tolerating shared nodes: visit each operator once,
+    reporting P001 for re-encounters instead of looping forever."""
+    seen: set[int] = set()
+    ops: list[Operator] = []
+    stack = [root]
+    while stack:
+        op = stack.pop()
+        if id(op) in seen:
+            report.add(
+                "P001",
+                f"operator {op.describe()} appears more than once in the plan",
+                location=_location(op),
+                hint="Volcano trees may not share subplans; copy the operator",
+            )
+            continue
+        seen.add(id(op))
+        ops.append(op)
+        stack.extend(reversed(op.children()))
+    return ops
+
+
+# -- structural checks ---------------------------------------------------------
+
+
+def _check_structure(op: Operator, report: DiagnosticReport) -> None:
+    n_children = len(op.children())
+    blocking = tuple(op.blocking_child_indexes)
+    for idx in blocking:
+        if not 0 <= idx < n_children:
+            report.add(
+                "P002",
+                f"blocking child index {idx} out of range "
+                f"(operator has {n_children} children)",
+                location=_location(op),
+            )
+    driver = op.driver_child_index
+    if driver is not None:
+        if not 0 <= driver < n_children:
+            report.add(
+                "P003",
+                f"driver child index {driver} out of range "
+                f"(operator has {n_children} children)",
+                location=_location(op),
+            )
+        elif driver in blocking:
+            report.add(
+                "P005",
+                f"driver child {driver} is also declared blocking; a pipeline "
+                "cannot be driven by an input it never streams",
+                location=_location(op),
+            )
+    if op.state in (OperatorState.CLOSED, OperatorState.EXHAUSTED):
+        report.add(
+            "P004",
+            f"operator state is {op.state.value}; plans cannot be re-run",
+            location=_location(op),
+        )
+    # Child edges that are neither blocking nor the driver leave pipeline
+    # decomposition unable to attribute the child's getnext() work.
+    if n_children > 1:
+        classified = set(blocking) | ({driver} if driver is not None else set())
+        for idx in range(n_children):
+            if idx not in classified:
+                report.add(
+                    "I002",
+                    f"child {idx} is neither blocking nor the driver",
+                    location=_location(op),
+                    hint="declare the edge in blocking_child_indexes or "
+                    "driver_child_index",
+                )
+
+
+# -- per-operator semantic checks ----------------------------------------------
+
+
+def _resolve_key(
+    schema: Schema, key: str, side: str, op: Operator, report: DiagnosticReport
+) -> ExprType | None:
+    kind, idx = schema.resolve(key)
+    if kind == "ok":
+        assert idx is not None
+        return column_expr_type(schema.columns[idx].ctype)
+    reason = "is ambiguous" if kind == "ambiguous" else "does not resolve"
+    report.add(
+        "J001",
+        f"{side} key {key!r} {reason} in {schema!r}",
+        location=_location(op),
+    )
+    return None
+
+
+def _check_key_pair(
+    left: ExprType | None, right: ExprType | None, op: Operator, report: DiagnosticReport
+) -> None:
+    if left is None or right is None:
+        return
+    if left is right:
+        return
+    if left.is_numeric and right.is_numeric:
+        report.add(
+            "J003",
+            f"join keys have different numeric widths ({left.value} vs "
+            f"{right.value}); equality holds but histograms key on raw values",
+            location=_location(op),
+        )
+        return
+    report.add(
+        "J002",
+        f"join key type mismatch: {left.value} vs {right.value}",
+        location=_location(op),
+        hint="an equijoin between a string and a numeric key matches nothing",
+    )
+
+
+def _check_operator(op: Operator, report: DiagnosticReport) -> None:
+    loc = _location(op)
+    if isinstance(op, HashJoin):
+        build_schema = op.build_child.output_schema
+        probe_schema = op.probe_child.output_schema
+        for bk, pk in zip(op.build_keys, op.probe_keys):
+            bt = _resolve_key(build_schema, bk, "build", op, report)
+            pt = _resolve_key(probe_schema, pk, "probe", op, report)
+            _check_key_pair(bt, pt, op, report)
+        return
+    if isinstance(op, SortMergeJoin):
+        lt = _resolve_key(op.left_child.output_schema, op.left_key, "left", op, report)
+        rt = _resolve_key(op.right_child.output_schema, op.right_key, "right", op, report)
+        _check_key_pair(lt, rt, op, report)
+        return
+    if isinstance(op, NestedLoopsJoin):
+        if op.predicate is not None:
+            TypeChecker(op.output_schema, report, loc).check_predicate(
+                op.predicate, "join predicate"
+            )
+        return
+    if isinstance(op, _AggregateBase):
+        in_schema = op.child.output_schema
+        for group in op.group_by:
+            kind, _ = in_schema.resolve(group)
+            if kind != "ok":
+                reason = "is ambiguous" if kind == "ambiguous" else "does not resolve"
+                report.add(
+                    "A003", f"GROUP BY column {group!r} {reason} in {in_schema!r}",
+                    location=loc,
+                )
+        for spec in op.aggregates:
+            if spec.column is None:
+                continue
+            kind, idx = in_schema.resolve(spec.column)
+            if kind != "ok":
+                reason = "is ambiguous" if kind == "ambiguous" else "does not resolve"
+                report.add(
+                    "A001",
+                    f"aggregate input {spec.column!r} {reason} in {in_schema!r}",
+                    location=loc,
+                )
+                continue
+            assert idx is not None
+            if spec.func in ("sum", "avg"):
+                ctype = column_expr_type(in_schema.columns[idx].ctype)
+                if not ctype.is_numeric:
+                    report.add(
+                        "A002",
+                        f"{spec.func}({spec.column}) over {ctype.value} column",
+                        location=loc,
+                    )
+        return
+    if isinstance(op, Sort):
+        in_schema = op.child.output_schema
+        checker = TypeChecker(in_schema, report, loc)
+        for key in op.keys:
+            checker.check(_col(key))
+        return
+    if isinstance(op, Project):
+        checker = TypeChecker(op.child.output_schema, report, loc)
+        for spec in op.columns:
+            if not isinstance(spec, str):
+                checker.check(spec[1])
+        return
+    predicate = getattr(op, "predicate", None)
+    child_schemas = [c.output_schema for c in op.children()]
+    if predicate is not None and len(child_schemas) == 1:
+        # Filter and filter-like unary operators.
+        TypeChecker(child_schemas[0], report, loc).check_predicate(predicate)
+
+
+def _col(name: str):
+    from repro.executor.expressions import Col
+
+    return Col(name)
+
+
+# -- pipeline invariants -------------------------------------------------------
+
+
+def _check_pipeline_invariants(ops: list[Operator], report: DiagnosticReport) -> None:
+    for op in ops:
+        if isinstance(op, HashJoin):
+            blocking = tuple(op.blocking_child_indexes)
+            if 0 not in blocking or op.driver_child_index != 1:
+                report.add(
+                    "I001",
+                    f"hash join declares blocking={blocking!r}, "
+                    f"driver={op.driver_child_index!r}; ONCE needs the build "
+                    "(child 0) blocking and the probe (child 1) driving",
+                    location=_location(op),
+                    hint="the build histogram must be complete before the "
+                    "probe pass streams",
+                )
+
+
+# -- hash-join chain classification --------------------------------------------
+
+
+def _chain_base_is_clustered(chain: list[HashJoin]) -> Operator | None:
+    """The order-clustered source under the chain's base stream, if any.
+
+    Descends the base probe stream along driver edges; a chain probed by an
+    index scan (or any sorted source) violates the random-order assumption
+    behind the confidence bounds (Section 4.1.2).
+    """
+    op: Operator = chain[0].probe_child
+    while True:
+        if isinstance(op, IndexScan):
+            return op
+        idx = op.driver_child_index
+        children = op.children()
+        if idx is None or idx >= len(children):
+            return None
+        op = children[idx]
+
+
+def _classify_chain(chain: list[HashJoin], report: DiagnosticReport) -> None:
+    base_schema = chain[0].probe_child.output_schema
+    if any(len(j.probe_keys) != 1 or len(j.build_keys) != 1 for j in chain):
+        if len(chain) > 1:
+            report.add(
+                "C101",
+                "chain contains multi-column join keys; push-down estimation "
+                "is single-key, upper joins use dne",
+                location=_location(chain[-1]),
+            )
+        return
+    kind, base_key_idx = base_schema.resolve(chain[0].probe_keys[0])
+    if kind != "ok":
+        return  # J001 already reported on the bottom join
+    for i in range(1, len(chain)):
+        join = chain[i]
+        prov = _probe_provenance(chain, i)
+        if prov is None:
+            report.add(
+                "C101",
+                f"probe key {join.probe_keys[0]!r} has unresolvable provenance; "
+                "this join falls back to dne",
+                location=_location(join),
+            )
+            continue
+        origin, value = prov
+        if origin == "B":
+            report.add(
+                "C003",
+                f"probe key {join.probe_keys[0]!r} traces to the build input of "
+                f"chain level {value}; estimated via a derived histogram "
+                "(Section 4.1.4.2)",
+                location=_location(join),
+            )
+        elif value == base_key_idx:
+            report.add(
+                "C001",
+                f"probe key {join.probe_keys[0]!r} is the chain's shared base "
+                "attribute; exact push-down applies",
+                location=_location(join),
+            )
+        else:
+            report.add(
+                "C002",
+                f"probe key {join.probe_keys[0]!r} traces to a different "
+                "base-stream attribute; Case-1 push-down applies",
+                location=_location(join),
+            )
+    clustered = _chain_base_is_clustered(chain)
+    if clustered is not None:
+        report.add(
+            "C102",
+            f"chain base stream is fed by {clustered.describe()}, which emits "
+            "in key order; sample-based confidence bounds assume random order",
+            location=_location(chain[0]),
+        )
+
+
+def _probe_provenance(chain: list[HashJoin], i: int) -> tuple[str, int] | None:
+    """Where ``chain[i]``'s probe key column *semantically* comes from.
+
+    Mirrors the positional resolution performed by
+    :class:`~repro.core.pipeline_estimators.HashJoinChainEstimator` — peel
+    build segments off ``out(J_m) = build_m ++ out(J_{m-1})`` — with one
+    refinement: a reference to a lower build relation's own *join key*
+    column is rewritten, by equijoin transitivity, to that join's probe key
+    and traced onward. That is what makes the paper's "same attribute"
+    chains (upper join keyed on the lower build's key) classify as
+    same-attribute rather than Case 2.
+
+    Returns ``("C", column_index)`` for a base-stream column or
+    ``("B", level)`` for a genuine lower-build column (Case 2).
+    """
+    join = chain[i]
+    probe_schema = join.probe_child.output_schema
+    kind, offset = probe_schema.resolve(join.probe_keys[0])
+    if kind != "ok" or offset is None:
+        return None
+    m = i - 1
+    while m >= 0:
+        build_schema = chain[m].build_child.output_schema
+        build_len = len(build_schema)
+        if offset < build_len:
+            key_kind, key_idx = build_schema.resolve(chain[m].build_keys[0])
+            if key_kind == "ok" and key_idx == offset:
+                # Equal to chain[m]'s probe key after the equijoin; restart
+                # the trace from that key's position.
+                lower_probe = chain[m].probe_child.output_schema
+                kind, offset = lower_probe.resolve(chain[m].probe_keys[0])
+                if kind != "ok" or offset is None:
+                    return None
+                m -= 1
+                continue
+            return ("B", m)
+        offset -= build_len
+        m -= 1
+    return ("C", offset)
+
+
+def _classify_chains(root: Operator, report: DiagnosticReport) -> None:
+    from repro.core.pipeline_estimators import find_hash_join_chains
+
+    for chain in find_hash_join_chains(root):
+        _classify_chain(chain, report)
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def analyze_plan(root: Operator) -> DiagnosticReport:
+    """Statically analyze a physical plan; never executes any operator."""
+    report = DiagnosticReport()
+    ops = _safe_walk(root, report)
+    for op in ops:
+        _check_structure(op, report)
+        _check_operator(op, report)
+    _check_pipeline_invariants(ops, report)
+    if not report.has_errors:
+        # Classification reuses schema resolution; skip it when errors above
+        # already make provenance meaningless.
+        _classify_chains(root, report)
+    return report

@@ -1,0 +1,238 @@
+"""Expression type inference against a :class:`~repro.storage.schema.Schema`.
+
+Expressions bind untyped at execution time — :meth:`Expression.bind` only
+resolves tuple positions — so a predicate comparing an int key to a string
+literal fails (or silently filters everything) deep inside the executor's
+inner loop. This pass infers a type for every expression node *before*
+execution and reports mismatches through the shared diagnostic framework:
+
+* ``T001``/``T002`` — unresolvable / ambiguous column references;
+* ``T003`` — comparisons (including BETWEEN bounds) over incompatible types;
+* ``T004`` — arithmetic over non-numeric operands;
+* ``T005`` — a non-boolean expression used where a predicate is expected;
+* ``T006`` — IN-list members that can never match the tested expression.
+
+The type lattice is deliberately small, mirroring
+:class:`~repro.storage.schema.ColumnType` plus the analysis-only BOOL, NULL
+and UNKNOWN elements; NULL and UNKNOWN compare with everything so partial
+information never produces false positives.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.executor.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    Col,
+    Comparison,
+    Const,
+    Expression,
+    InList,
+    IsNull,
+    Not,
+    Or,
+)
+from repro.storage.schema import ColumnType, Schema
+
+__all__ = ["ExprType", "TypeChecker", "infer_type", "is_comparable"]
+
+
+class ExprType(enum.Enum):
+    """Inferred expression types (column types + analysis-only elements)."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BOOL = "bool"
+    NULL = "null"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ExprType.INT, ExprType.FLOAT)
+
+
+_FROM_COLUMN_TYPE = {
+    ColumnType.INT: ExprType.INT,
+    ColumnType.FLOAT: ExprType.FLOAT,
+    ColumnType.STR: ExprType.STR,
+}
+
+_LENIENT = (ExprType.NULL, ExprType.UNKNOWN)
+
+
+def column_expr_type(ctype: ColumnType) -> ExprType:
+    return _FROM_COLUMN_TYPE[ctype]
+
+
+def is_comparable(left: ExprType, right: ExprType) -> bool:
+    """Whether ``left <op> right`` is a meaningful comparison."""
+    if left in _LENIENT or right in _LENIENT:
+        return True
+    if left is right:
+        return True
+    # Numeric widths (and Python bools, which are ints) intercompare.
+    numeric_ish = (ExprType.INT, ExprType.FLOAT, ExprType.BOOL)
+    return left in numeric_ish and right in numeric_ish
+
+
+def _const_type(value: object) -> ExprType:
+    if value is None:
+        return ExprType.NULL
+    if isinstance(value, bool):
+        return ExprType.BOOL
+    if isinstance(value, int):
+        return ExprType.INT
+    if isinstance(value, float):
+        return ExprType.FLOAT
+    if isinstance(value, str):
+        return ExprType.STR
+    return ExprType.UNKNOWN
+
+
+class TypeChecker:
+    """Infer expression types against one schema, reporting into ``report``.
+
+    ``location`` labels every diagnostic with the plan node (or SQL clause)
+    the expression came from.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        report: DiagnosticReport,
+        location: str | None = None,
+    ):
+        self.schema = schema
+        self.report = report
+        self.location = location
+
+    # -- entry points --------------------------------------------------------
+
+    def check(self, expr: Expression) -> ExprType:
+        """Infer ``expr``'s type, recording diagnostics for defects found."""
+        if isinstance(expr, Col):
+            return self._check_col(expr)
+        if isinstance(expr, Const):
+            return _const_type(expr.value)
+        if isinstance(expr, Comparison):
+            left = self.check(expr.left)
+            right = self.check(expr.right)
+            self._require_comparable(left, right, expr)
+            return ExprType.BOOL
+        if isinstance(expr, BinaryOp):
+            return self._check_arith(expr)
+        if isinstance(expr, (And, Or)):
+            self._check_bool_operand(expr.left)
+            self._check_bool_operand(expr.right)
+            return ExprType.BOOL
+        if isinstance(expr, Not):
+            self._check_bool_operand(expr.child)
+            return ExprType.BOOL
+        if isinstance(expr, Between):
+            subject = self.check(expr.child)
+            for bound in (expr.low, expr.high):
+                self._require_comparable(subject, self.check(bound), expr)
+            return ExprType.BOOL
+        if isinstance(expr, InList):
+            subject = self.check(expr.child)
+            bad = [v for v in expr.values if not is_comparable(subject, _const_type(v))]
+            if bad:
+                self.report.add(
+                    "T006",
+                    f"IN list values {bad!r} can never match {expr.child!r} "
+                    f"of type {subject.value}",
+                    location=self.location,
+                )
+            return ExprType.BOOL
+        if isinstance(expr, IsNull):
+            self.check(expr.child)
+            return ExprType.BOOL
+        # Future expression kinds degrade gracefully.
+        return ExprType.UNKNOWN
+
+    def check_predicate(self, expr: Expression, context: str = "predicate") -> ExprType:
+        """Check ``expr`` and require it to be boolean-valued."""
+        inferred = self.check(expr)
+        if inferred is not ExprType.BOOL and inferred not in _LENIENT:
+            self.report.add(
+                "T005",
+                f"{context} {expr!r} evaluates to {inferred.value}, not a boolean",
+                location=self.location,
+                hint="wrap the value in an explicit comparison",
+            )
+        return inferred
+
+    # -- node checks ---------------------------------------------------------
+
+    def _check_col(self, expr: Col) -> ExprType:
+        kind, idx = self.schema.resolve(expr.name)
+        if kind == "ok":
+            assert idx is not None
+            return column_expr_type(self.schema.columns[idx].ctype)
+        if kind == "ambiguous":
+            self.report.add(
+                "T002",
+                f"column {expr.name!r} is ambiguous in {self.schema!r}",
+                location=self.location,
+                hint="qualify the column as relation.column",
+            )
+        else:
+            self.report.add(
+                "T001",
+                f"unknown column {expr.name!r} in {self.schema!r}",
+                location=self.location,
+            )
+        return ExprType.UNKNOWN
+
+    def _check_arith(self, expr: BinaryOp) -> ExprType:
+        left = self.check(expr.left)
+        right = self.check(expr.right)
+        result = ExprType.INT
+        for side in (left, right):
+            if side in _LENIENT:
+                result = ExprType.UNKNOWN
+            elif not side.is_numeric and side is not ExprType.BOOL:
+                self.report.add(
+                    "T004",
+                    f"operand of {expr.op!r} in {expr!r} has non-numeric "
+                    f"type {side.value}",
+                    location=self.location,
+                )
+                result = ExprType.UNKNOWN
+        if result is ExprType.UNKNOWN:
+            return result
+        if expr.op == "/" or ExprType.FLOAT in (left, right):
+            return ExprType.FLOAT
+        return ExprType.INT
+
+    def _check_bool_operand(self, operand: Expression) -> None:
+        inferred = self.check(operand)
+        if inferred is not ExprType.BOOL and inferred not in _LENIENT:
+            self.report.add(
+                "T005",
+                f"boolean connective over non-boolean operand {operand!r} "
+                f"of type {inferred.value}",
+                location=self.location,
+            )
+
+    def _require_comparable(
+        self, left: ExprType, right: ExprType, expr: Expression
+    ) -> None:
+        if not is_comparable(left, right):
+            self.report.add(
+                "T003",
+                f"incompatible comparison {expr!r}: {left.value} vs {right.value}",
+                location=self.location,
+            )
+
+
+def infer_type(expr: Expression, schema: Schema) -> tuple[ExprType, DiagnosticReport]:
+    """Convenience wrapper: infer ``expr``'s type plus any diagnostics."""
+    report = DiagnosticReport()
+    inferred = TypeChecker(schema, report).check(expr)
+    return inferred, report

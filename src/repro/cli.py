@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Three subcommands, all runnable offline against generated data::
+Four subcommands, all runnable offline against generated data::
 
     python -m repro demo                      # the Figure-8 style showcase
     python -m repro query "SELECT ..."        # run SQL with a progress bar
+    python -m repro analyze "SELECT ..."      # static plan diagnostics, no execution
     python -m repro bench-overhead            # quick estimation-overhead check
 
 ``query`` generates (and caches per-process) a skewed TPC-H database, runs
@@ -39,8 +40,6 @@ def _progress_bar(progress: float, total_estimate: float, width: int = 40) -> st
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.sql import run_query
-
     catalog = _build_catalog(args)
     last_draw = [0.0]
 
@@ -82,6 +81,77 @@ def cmd_query(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _workload_setups(args: argparse.Namespace):
+    """Every builder in :mod:`repro.workloads`, instantiated at toy scale.
+
+    Plans are built but never executed — exactly what ``analyze`` needs.
+    """
+    from repro.workloads import (
+        paper_binary_join,
+        paper_pipeline_diff_attr,
+        paper_pipeline_same_attr,
+        paper_pkfk_join_with_selection,
+        tpch_q8_like,
+    )
+
+    yield "paper_binary_join", paper_binary_join(
+        z=1.0, domain_size=50, num_rows=200, seed=args.seed
+    )
+    yield "paper_pkfk_join_with_selection", paper_pkfk_join_with_selection(
+        domain_size=200, num_rows=200, selection_cutoff=100, seed=args.seed
+    )
+    yield "paper_pipeline_same_attr", paper_pipeline_same_attr(
+        z=1.0, domain_size=50, num_rows=200, seed=args.seed
+    )
+    yield "paper_pipeline_diff_attr[case=1]", paper_pipeline_diff_attr(
+        case=1, lower_z=1.0, upper_z=1.0, domain_size=50, num_rows=200, seed=args.seed
+    )
+    yield "paper_pipeline_diff_attr[case=2]", paper_pipeline_diff_attr(
+        case=2, lower_z=1.0, upper_z=1.0, domain_size=50, num_rows=200, seed=args.seed
+    )
+    yield "tpch_q8_like", tpch_q8_like(
+        sf=0.002, skew_z=args.skew, sample_fraction=0.0, seed=args.seed
+    )
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import Severity
+    from repro.executor.plan import check_plan, explain
+
+    min_severity = Severity[args.min_severity.upper()]
+    had_errors = False
+
+    def show(name: str, plan) -> None:
+        nonlocal had_errors
+        report = check_plan(plan, mode="advisory")
+        print(f"== {name}")
+        print(explain(plan))
+        rendered = report.render(min_severity=min_severity)
+        print(rendered if rendered else "  no diagnostics")
+        summary = (
+            f"  {len(report.errors)} error(s), {len(report.warnings)} warning(s), "
+            f"{len(report.diagnostics)} total"
+        )
+        print(summary)
+        had_errors = had_errors or report.has_errors
+
+    if args.workloads:
+        for name, setup in _workload_setups(args):
+            show(name, setup.plan)
+    else:
+        if not args.sql:
+            print("analyze: provide a SELECT statement or --workloads", file=sys.stderr)
+            return 2
+        from repro.sql import compile_select
+
+        catalog = _build_catalog(args)
+        compiled = compile_select(
+            catalog, args.sql, sample_fraction=args.sample, analyze="off"
+        )
+        show(args.sql, compiled.plan)
+    return 1 if had_errors else 0
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -158,6 +228,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     q.add_argument("--mode", choices=("once", "dne", "byte"), default="once")
     q.add_argument("--max-rows", type=int, default=20)
     q.set_defaults(func=cmd_query)
+
+    a = sub.add_parser(
+        "analyze", help="static plan diagnostics (type/pipeline checks), no execution"
+    )
+    a.add_argument("sql", nargs="?", help="SELECT statement to analyze")
+    a.add_argument(
+        "--workloads",
+        action="store_true",
+        help="analyze every repro.workloads builder at toy scale instead of SQL",
+    )
+    a.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        help="lowest severity to print",
+    )
+    a.set_defaults(func=cmd_analyze)
 
     d = sub.add_parser("demo", help="Figure-8 style once-vs-dne showcase")
     d.set_defaults(func=cmd_demo)

@@ -21,6 +21,20 @@ class PlanError(ReproError):
     """A query plan is structurally invalid (e.g. arity mismatch, cycles)."""
 
 
+class AnalysisError(PlanError):
+    """Static analysis rejected a plan before execution.
+
+    Subclasses :class:`PlanError` so callers that already guard compilation
+    with ``except PlanError`` also see strict-mode analyzer failures. The
+    offending :class:`~repro.analysis.diagnostics.DiagnosticReport` rides
+    along as ``report``.
+    """
+
+    def __init__(self, message: str, report: object | None = None):
+        super().__init__(message)
+        self.report = report
+
+
 class ExecutorError(ReproError):
     """An operator was driven through an illegal state transition."""
 

@@ -184,9 +184,9 @@ class HashJoinChainEstimator:
         self.breakpoints: dict[int, list[int]] = {}
         for m in range(self.k - 1, -1, -1):
             bps: set[int] = set()
-            for l in self.refs.get(m, []):
-                bps.add(l)
-                bps.update(self.breakpoints.get(l, []))
+            for level in self.refs.get(m, []):
+                bps.add(level)
+                bps.update(self.breakpoints.get(level, []))
             self.breakpoints[m] = sorted(bps)
 
         # Base histograms H_m and derived versions W[(m, breakpoint)].
@@ -319,9 +319,9 @@ class HashJoinChainEstimator:
         version_specs: list[tuple[FrequencyHistogram, list[tuple[int, FrequencyHistogram]]]] = []
         for bp in breakpoints:
             folded = [
-                (self.provenance[l].index, self._effective_hist(l, bp))
-                for l in self.refs.get(m, [])
-                if l <= bp
+                (self.provenance[level].index, self._effective_hist(level, bp))
+                for level in self.refs.get(m, [])
+                if level <= bp
             ]
             version_specs.append((self.derived[(m, bp)], folded))
 

@@ -20,7 +20,6 @@ an online confidence interval, and immunity to the inner side's order.
 from __future__ import annotations
 
 import bisect
-from typing import Callable
 
 from repro.common.errors import EstimationError
 from repro.core.confidence import MeanEstimateInterval

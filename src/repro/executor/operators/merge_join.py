@@ -31,7 +31,6 @@ class SortMergeJoin(Operator):
     """Equijoin by sorting both inputs on the key, then merging."""
 
     op_name = "merge_join"
-    driver_child_index = 1
 
     def __init__(
         self,

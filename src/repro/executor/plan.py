@@ -6,12 +6,15 @@ check structural sanity before execution, and render the tree for humans.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.common.errors import PlanError
 from repro.executor.operators.base import Operator, OperatorState
 
-__all__ = ["explain", "validate_plan", "walk"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import DiagnosticReport
+
+__all__ = ["check_plan", "explain", "validate_plan", "walk"]
 
 
 def walk(root: Operator) -> Iterator[Operator]:
@@ -53,6 +56,26 @@ def validate_plan(root: Operator) -> list[Operator]:
     for i, op in enumerate(ops):
         op.node_id = i
     return ops
+
+
+def check_plan(root: Operator, mode: str = "strict") -> "DiagnosticReport":
+    """Run the static semantic analyzer over the plan (no execution).
+
+    ``mode="strict"`` raises :class:`~repro.common.errors.AnalysisError` if
+    any ERROR-severity diagnostic is found; ``mode="advisory"`` returns the
+    full report for the caller to inspect. Structural validation
+    (:func:`validate_plan`) remains the executor's hard gate — this adds the
+    semantic layer: expression typing, join-key compatibility, pipeline
+    invariants and estimator classification.
+    """
+    if mode not in ("strict", "advisory"):
+        raise ValueError(f"mode must be 'strict' or 'advisory', got {mode!r}")
+    from repro.analysis.plancheck import analyze_plan
+
+    report = analyze_plan(root)
+    if mode == "strict":
+        report.raise_if_errors("plan analysis")
+    return report
 
 
 def explain(root: Operator, counts: bool = False) -> str:

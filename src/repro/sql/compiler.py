@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import PlanError
+from repro.common.errors import PlanError, SchemaError
 from repro.executor.engine import ExecutionEngine, TickBus
 from repro.executor.expressions import And, Col, Expression
 from repro.executor.operators import (
@@ -52,11 +52,17 @@ __all__ = ["CompiledQuery", "QueryResult", "compile_select", "run_query"]
 
 @dataclass
 class CompiledQuery:
-    """A parsed and compiled query, ready to run."""
+    """A parsed and compiled query, ready to run.
+
+    ``diagnostics`` carries the static analyzer's report when compilation
+    ran with ``analyze="advisory"`` (strict mode raises instead; ``"off"``
+    leaves it None).
+    """
 
     statement: SelectStatement
     plan: Operator
     catalog: Catalog
+    diagnostics: object | None = None
 
     def explain(self) -> str:
         from repro.executor.plan import explain
@@ -106,8 +112,17 @@ def compile_select(
     num_partitions: int = 8,
     memory_partitions: int = 1,
     annotate: bool = True,
+    analyze: str = "strict",
 ) -> CompiledQuery:
-    """Compile a SELECT (string or AST) against ``catalog``."""
+    """Compile a SELECT (string or AST) against ``catalog``.
+
+    ``analyze`` gates the static plan analyzer: ``"strict"`` (default)
+    raises :class:`~repro.common.errors.AnalysisError` on any error
+    diagnostic, ``"advisory"`` attaches the report to the returned
+    :class:`CompiledQuery`, ``"off"`` skips the pass.
+    """
+    if analyze not in ("strict", "advisory", "off"):
+        raise ValueError(f"analyze must be 'strict', 'advisory' or 'off', got {analyze!r}")
     if isinstance(statement, str):
         statement = parse_select(statement)
 
@@ -179,15 +194,28 @@ def compile_select(
     for conjunct in residual:
         plan = Filter(plan, conjunct)
 
-    # Aggregation.
+    # Aggregation. GROUP BY coverage is schema-aware: each SELECT column and
+    # group entry is resolved to a tuple position in the pre-aggregation
+    # schema, so t1.x and t2.x never conflate and bare names still match
+    # their qualified spellings.
     items = statement.items
     if statement.has_aggregates or statement.group_by:
+        pre_schema = plan.output_schema
+        group_indexes: set[int] = set()
+        for group in statement.group_by:
+            try:
+                group_indexes.add(pre_schema.index_of(group))
+            except SchemaError as exc:
+                raise PlanError(f"GROUP BY: {exc}") from None
         for item in items:
             if isinstance(item, StarItem):
                 raise PlanError("SELECT * cannot be combined with aggregation")
-            if isinstance(item, ColumnItem) and item.column not in statement.group_by:
-                bare_groups = {g.split(".")[-1] for g in statement.group_by}
-                if item.column.split(".")[-1] not in bare_groups:
+            if isinstance(item, ColumnItem):
+                try:
+                    item_index = pre_schema.index_of(item.column)
+                except SchemaError as exc:
+                    raise PlanError(f"SELECT: {exc}") from None
+                if item_index not in group_indexes:
                     raise PlanError(
                         f"column {item.column!r} must appear in GROUP BY"
                     )
@@ -233,7 +261,14 @@ def compile_select(
 
     if annotate:
         annotate_plan(plan, catalog)
-    return CompiledQuery(statement=statement, plan=plan, catalog=catalog)
+    diagnostics = None
+    if analyze != "off":
+        from repro.executor.plan import check_plan
+
+        diagnostics = check_plan(plan, mode=analyze)
+    return CompiledQuery(
+        statement=statement, plan=plan, catalog=catalog, diagnostics=diagnostics
+    )
 
 
 def run_query(

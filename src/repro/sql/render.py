@@ -24,7 +24,6 @@ from repro.sql.ast import (
     AggregateItem,
     ColumnItem,
     JoinClause,
-    OrderItem,
     SelectStatement,
     StarItem,
 )

@@ -122,6 +122,23 @@ class Schema:
             raise SchemaError(f"ambiguous column {name!r}: matches {choices}")
         return hits[0]
 
+    def resolve(self, name: str) -> tuple[str, int | None]:
+        """Non-raising :meth:`index_of`: classify how ``name`` resolves.
+
+        Returns ``("ok", index)``, ``("unknown", None)`` or
+        ``("ambiguous", None)`` — the static analyzer uses the outcome kind
+        to pick a diagnostic code instead of parsing exception text.
+        """
+        if "." in name:
+            idx = self._by_qualified.get(name)
+            return ("ok", idx) if idx is not None else ("unknown", None)
+        hits = self._by_bare.get(name, [])
+        if not hits:
+            return ("unknown", None)
+        if len(hits) > 1:
+            return ("ambiguous", None)
+        return ("ok", hits[0])
+
     def column(self, name: str) -> Column:
         return self.columns[self.index_of(name)]
 

@@ -1,0 +1,8 @@
+"""Lint fixture: a bare except clause (R003)."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722 - the violation under test
+        return None

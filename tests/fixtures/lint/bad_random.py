@@ -1,0 +1,10 @@
+"""Lint fixture: raw RNG use outside repro.common.rng (R002)."""
+
+import random
+from numpy import random as nprandom
+
+import numpy as np
+
+
+def roll():
+    return random.random() + np.random.rand() + nprandom.rand()

@@ -1,0 +1,19 @@
+"""Lint fixture: an operator subclass that mutates the K_i counter (R001)."""
+
+
+class CheatingScan(Operator):  # noqa: F821 - fixture, never imported
+    op_name = "cheating_scan"
+
+    def children(self):
+        return ()
+
+    @property
+    def output_schema(self):
+        return None
+
+    def _next(self):
+        self.tuples_emitted += 1  # R001: only Operator.next() may do this
+        return None
+
+    def reset_counter(self):
+        self.tuples_emitted = 0  # R001 again

@@ -1,0 +1,99 @@
+"""Tests for the codebase invariant lint (analysis Pass 2, R-codes)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_paths, main
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "lint"
+
+
+def fixture(name):
+    return str(FIXTURES / name)
+
+
+def rules_of(violations):
+    return {v.rule for v in violations}
+
+
+class TestRepoIsClean:
+    def test_src_passes_all_rules(self):
+        """Acceptance: the lint exits clean on the repo's own source tree."""
+        violations = lint_paths([str(REPO / "src")])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_main_exit_zero_on_src(self):
+        assert main([str(REPO / "src")]) == 0
+
+
+class TestRules:
+    def test_r001_counter_write_in_subclass(self):
+        violations = lint_paths([fixture("bad_tuples_emitted.py")])
+        assert rules_of(violations) >= {"R001"}
+        assert len([v for v in violations if v.rule == "R001"]) == 2
+        assert "tuples_emitted" in violations[0].message
+
+    def test_r002_raw_rng_use(self):
+        violations = lint_paths([fixture("bad_random.py")], rules={"R002"})
+        # import random, from numpy import random, np.random attribute use.
+        assert len(violations) == 3
+        assert rules_of(violations) == {"R002"}
+
+    def test_r002_exempts_the_rng_module(self):
+        rng_module = REPO / "src" / "repro" / "common" / "rng.py"
+        assert lint_paths([str(rng_module)], rules={"R002"}) == []
+
+    def test_r003_bare_except(self):
+        violations = lint_paths([fixture("bad_bare_except.py")], rules={"R003"})
+        assert len(violations) == 1
+        assert violations[0].rule == "R003"
+
+    def test_r004_missing_declarations(self):
+        violations = lint_paths([fixture("bad_missing_members.py")], rules={"R004"})
+        assert len(violations) == 1
+        message = violations[0].message
+        for member in ("op_name", "children", "output_schema"):
+            assert member in message
+
+    def test_good_operator_fixture_is_clean(self):
+        assert lint_paths([fixture("good_operator.py")]) == []
+
+
+class TestEngine:
+    def test_rule_subset_selection(self):
+        violations = lint_paths([fixture("bad_tuples_emitted.py")], rules={"R003"})
+        assert violations == []
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            lint_paths([fixture("good_operator.py")], rules={"R999"})
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        violations = lint_paths([str(broken)])
+        assert len(violations) == 1
+        assert "syntax error" in violations[0].message
+
+    def test_violation_render_format(self):
+        violations = lint_paths([fixture("bad_bare_except.py")], rules={"R003"})
+        rendered = violations[0].render()
+        assert rendered.startswith(fixture("bad_bare_except.py"))
+        assert ": R003 " in rendered
+
+    def test_rules_registry_documents_every_rule(self):
+        assert set(RULES) == {"R001", "R002", "R003", "R004"}
+
+
+class TestMain:
+    def test_nonzero_exit_on_violating_fixture(self, capsys):
+        """Acceptance: non-zero exit on a fixture mutating tuples_emitted."""
+        code = main([fixture("bad_tuples_emitted.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+
+    def test_unknown_rule_exit_two(self, capsys):
+        assert main(["--rules", "R999", fixture("good_operator.py")]) == 2

@@ -1,0 +1,154 @@
+"""Tests for the expression type checker (analysis Pass 1, T-codes)."""
+
+import pytest
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+from repro.analysis.typecheck import ExprType, TypeChecker, infer_type, is_comparable
+from repro.executor.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    Comparison,
+    InList,
+    IsNull,
+    Not,
+    col,
+    lit,
+)
+from repro.storage.schema import Schema
+
+SCHEMA = Schema.of("k:int", "name:str", "price:float", qualifier="t")
+AMBIGUOUS = Schema.of("x:int", qualifier="a").concat(Schema.of("x:str", qualifier="b"))
+
+
+def check(expr, schema=SCHEMA):
+    report = DiagnosticReport()
+    inferred = TypeChecker(schema, report, location="test").check(expr)
+    return inferred, report
+
+
+class TestInference:
+    def test_column_types(self):
+        assert check(col("k"))[0] is ExprType.INT
+        assert check(col("name"))[0] is ExprType.STR
+        assert check(col("t.price"))[0] is ExprType.FLOAT
+
+    def test_const_types(self):
+        assert check(lit(1))[0] is ExprType.INT
+        assert check(lit(1.5))[0] is ExprType.FLOAT
+        assert check(lit("a"))[0] is ExprType.STR
+        assert check(lit(True))[0] is ExprType.BOOL
+        assert check(lit(None))[0] is ExprType.NULL
+
+    def test_comparison_is_bool(self):
+        inferred, report = check(Comparison("=", col("k"), lit(3)))
+        assert inferred is ExprType.BOOL
+        assert len(report) == 0
+
+    def test_arithmetic_widths(self):
+        assert check(BinaryOp("+", col("k"), lit(1)))[0] is ExprType.INT
+        assert check(BinaryOp("+", col("k"), col("price")))[0] is ExprType.FLOAT
+        assert check(BinaryOp("/", col("k"), lit(2)))[0] is ExprType.FLOAT
+
+    def test_infer_type_convenience(self):
+        inferred, report = infer_type(col("k"), SCHEMA)
+        assert inferred is ExprType.INT
+        assert len(report) == 0
+
+
+class TestDiagnostics:
+    def test_t001_unknown_column(self):
+        inferred, report = check(col("nope"))
+        assert inferred is ExprType.UNKNOWN
+        assert report.codes() == {"T001"}
+        assert report.has_errors
+
+    def test_t002_ambiguous_column(self):
+        inferred, report = check(col("x"), AMBIGUOUS)
+        assert inferred is ExprType.UNKNOWN
+        assert report.codes() == {"T002"}
+
+    def test_t002_qualified_reference_resolves(self):
+        inferred, report = check(col("a.x"), AMBIGUOUS)
+        assert inferred is ExprType.INT
+        assert len(report) == 0
+
+    def test_t003_incompatible_comparison(self):
+        _, report = check(Comparison("=", col("k"), lit("abc")))
+        assert report.codes() == {"T003"}
+
+    def test_t003_between_bound_mismatch(self):
+        _, report = check(Between(col("k"), lit(1), lit("z")))
+        assert report.codes() == {"T003"}
+
+    def test_t004_non_numeric_arithmetic(self):
+        _, report = check(BinaryOp("+", col("name"), lit(1)))
+        assert report.codes() == {"T004"}
+
+    def test_t005_predicate_must_be_bool(self):
+        report = DiagnosticReport()
+        TypeChecker(SCHEMA, report).check_predicate(col("k"))
+        assert report.codes() == {"T005"}
+        assert not report.has_errors  # T005 is advisory
+
+    def test_t005_boolean_connective_operand(self):
+        _, report = check(And(Comparison(">", col("k"), lit(0)), col("k")))
+        assert report.codes() == {"T005"}
+
+    def test_t006_in_list_mismatch(self):
+        _, report = check(InList(col("k"), ("a", "b")))
+        assert report.codes() == {"T006"}
+
+    def test_in_list_compatible(self):
+        _, report = check(InList(col("k"), (1, 2, 3)))
+        assert len(report) == 0
+
+    def test_unknown_column_stays_lenient_downstream(self):
+        # Only T001 — the UNKNOWN result must not cascade into T003/T004.
+        _, report = check(Comparison("=", col("nope"), lit("x")))
+        assert report.codes() == {"T001"}
+
+    def test_null_compares_with_everything(self):
+        _, report = check(Comparison("=", col("name"), lit(None)))
+        assert len(report) == 0
+
+    def test_is_null_and_not_are_clean(self):
+        _, report = check(Not(IsNull(col("name"))))
+        assert len(report) == 0
+
+
+class TestComparability:
+    @pytest.mark.parametrize(
+        "left,right,ok",
+        [
+            (ExprType.INT, ExprType.INT, True),
+            (ExprType.INT, ExprType.FLOAT, True),
+            (ExprType.INT, ExprType.BOOL, True),
+            (ExprType.STR, ExprType.STR, True),
+            (ExprType.INT, ExprType.STR, False),
+            (ExprType.STR, ExprType.FLOAT, False),
+            (ExprType.NULL, ExprType.STR, True),
+            (ExprType.UNKNOWN, ExprType.INT, True),
+        ],
+    )
+    def test_matrix(self, left, right, ok):
+        assert is_comparable(left, right) is ok
+
+
+class TestReport:
+    def test_severity_defaults_from_registry(self):
+        report = DiagnosticReport()
+        assert report.add("T001", "x").severity is Severity.ERROR
+        assert report.add("T005", "x").severity is Severity.WARNING
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(KeyError):
+            DiagnosticReport().add("Z999", "mystery")
+
+    def test_render_filters_by_severity(self):
+        report = DiagnosticReport()
+        report.add("C001", "info-level")
+        report.add("T001", "error-level")
+        rendered = report.render(min_severity=Severity.ERROR)
+        assert "T001" in rendered
+        assert "C001" not in rendered

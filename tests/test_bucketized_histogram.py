@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.histogram import BucketizedHistogram, FrequencyHistogram
-from repro.core.join_estimators import OnceJoinEstimator
 
 
 class TestBucketizedHistogram:

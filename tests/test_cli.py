@@ -63,3 +63,42 @@ class TestCommands:
         code = main(["--sf", "0.001", "bench-overhead"])
         assert code == 0
         assert "overhead" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_parse_defaults(self):
+        args = build_arg_parser().parse_args(["analyze", "SELECT * FROM nation"])
+        assert args.command == "analyze"
+        assert args.min_severity == "info"
+        assert args.workloads is False
+
+    def test_analyze_requires_sql_or_workloads(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "provide a SELECT" in capsys.readouterr().err
+
+    def test_analyze_workloads_all_clean(self, capsys):
+        """Acceptance: every workload query analyzes with zero errors."""
+        code = main(["analyze", "--workloads"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tpch_q8_like" in out
+        assert "0 error(s)" in out
+
+    def test_analyze_sql_statement(self, capsys):
+        code = main(
+            [
+                "--sf", "0.001",
+                "analyze",
+                "SELECT orderkey FROM orders",
+                "--min-severity", "warning",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error(s)" in out
+
+    def test_analyze_bad_min_severity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(
+                ["analyze", "SELECT 1", "--min-severity", "loud"]
+            )

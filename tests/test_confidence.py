@@ -1,7 +1,5 @@
 """Tests for the confidence interval machinery."""
 
-import math
-
 import pytest
 
 from repro.core.confidence import MeanEstimateInterval, binomial_beta, proportion_interval

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.executor.expressions import And, BinaryOp, Col, Comparison, Const, Not, Or, col, lit
+from repro.executor.expressions import And, BinaryOp, Comparison, Const, Not, Or, col, lit
 from repro.storage.schema import Schema
 
 SCHEMA = Schema.of("a:int", "b:int", "name:str", qualifier="t")

@@ -1,0 +1,103 @@
+"""Regression tests for schema-aware GROUP BY validation in the compiler.
+
+The original check compared bare column names (``split(".")``), so
+``t1.x`` and ``t2.x`` conflated: selecting ``t2.x`` while grouping by
+``t1.x`` slipped through validation and grouped by the wrong column. The
+check now resolves every SELECT column and GROUP BY entry to a tuple
+position in the pre-aggregation schema.
+"""
+
+import pytest
+
+from repro.common.errors import AnalysisError, PlanError
+from repro.sql import compile_select
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(
+        Table("t1", Schema.of("k:int", "x:int"), [(1, 10), (2, 20), (2, 30)])
+    )
+    cat.register(
+        Table("t2", Schema.of("k:int", "x:int", "y:int"), [(1, 7, 1), (2, 8, 2)])
+    )
+    return cat
+
+
+JOIN = "FROM t1 JOIN t2 ON t1.k = t2.k"
+
+
+class TestQualifiedGroupBy:
+    def test_same_bare_name_different_relation_rejected(self, catalog):
+        """t2.x is NOT covered by GROUP BY t1.x — the original bug."""
+        with pytest.raises(PlanError, match="must appear in GROUP BY"):
+            compile_select(
+                catalog, f"SELECT t2.x, COUNT(*) AS n {JOIN} GROUP BY t1.x"
+            )
+
+    def test_matching_qualified_column_accepted(self, catalog):
+        compiled = compile_select(
+            catalog, f"SELECT t1.x, COUNT(*) AS n {JOIN} GROUP BY t1.x"
+        )
+        assert compiled.plan is not None
+
+    def test_bare_name_matches_its_qualified_spelling(self, catalog):
+        # Only t2 has a column y, so bare `y` and qualified `t2.y` are the
+        # same tuple position and must keep validating.
+        compiled = compile_select(
+            catalog, f"SELECT y, COUNT(*) AS n {JOIN} GROUP BY t2.y"
+        )
+        assert compiled.plan is not None
+
+    def test_ambiguous_bare_group_by_rejected(self, catalog):
+        with pytest.raises(PlanError, match="GROUP BY"):
+            compile_select(catalog, f"SELECT x, COUNT(*) AS n {JOIN} GROUP BY x")
+
+    def test_unknown_group_by_column_rejected(self, catalog):
+        with pytest.raises(PlanError, match="GROUP BY"):
+            compile_select(
+                catalog, "SELECT zzz, COUNT(*) AS n FROM t1 GROUP BY zzz"
+            )
+
+    def test_single_table_bare_names_still_work(self, catalog):
+        compiled = compile_select(
+            catalog, "SELECT x, COUNT(*) AS n FROM t1 GROUP BY x"
+        )
+        assert compiled.plan is not None
+
+
+class TestCompileAnalyzeGate:
+    @pytest.fixture
+    def mistyped(self):
+        cat = Catalog()
+        cat.register(Table("a", Schema.of("k:int", "v:int"), [(1, 1)]))
+        cat.register(Table("b", Schema.of("k:str", "w:int"), [("1", 2)]))
+        return cat
+
+    SQL = "SELECT v, w FROM a JOIN b ON a.k = b.k"
+
+    def test_strict_default_raises_on_mistyped_join(self, mistyped):
+        with pytest.raises(AnalysisError, match="J002"):
+            compile_select(mistyped, self.SQL)
+
+    def test_advisory_attaches_report(self, mistyped):
+        compiled = compile_select(mistyped, self.SQL, analyze="advisory")
+        assert compiled.diagnostics is not None
+        assert "J002" in compiled.diagnostics.codes()
+
+    def test_off_skips_the_pass(self, mistyped):
+        compiled = compile_select(mistyped, self.SQL, analyze="off")
+        assert compiled.diagnostics is None
+
+    def test_invalid_analyze_value_rejected(self, catalog):
+        with pytest.raises(ValueError):
+            compile_select(catalog, "SELECT x FROM t1", analyze="maybe")
+
+    def test_clean_query_compiles_strict_with_report(self, catalog):
+        compiled = compile_select(catalog, f"SELECT t1.x, y {JOIN}")
+        assert compiled.diagnostics is not None
+        assert not compiled.diagnostics.has_errors

@@ -1,13 +1,10 @@
 """Tests for the estimation manager's attachment rules."""
 
-import pytest
-
 from repro.core.manager import EstimationManager
 from repro.executor.engine import ExecutionEngine
-from repro.executor.expressions import col, lit
+from repro.executor.expressions import col
 from repro.executor.operators import (
     AggregateSpec,
-    Filter,
     HashAggregate,
     HashJoin,
     NestedLoopsJoin,

@@ -1,7 +1,5 @@
 """Tests for the sort-merge join."""
 
-import pytest
-
 from repro.executor.engine import ExecutionEngine
 from repro.executor.operators import SeqScan, Sort, SortMergeJoin
 from repro.storage.schema import Schema

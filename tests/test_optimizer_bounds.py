@@ -1,7 +1,5 @@
 """Tests for bound-based refinement of future-pipeline estimates."""
 
-import pytest
-
 from repro.executor.engine import ExecutionEngine
 from repro.executor.expressions import col, lit
 from repro.executor.operators import Filter, HashAggregate, HashJoin, SeqScan
