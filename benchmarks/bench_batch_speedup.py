@@ -1,0 +1,136 @@
+"""Batched-execution throughput microbench (scan -> filter -> hash join).
+
+Measures wall-clock for the same plan under row-at-a-time execution and
+``next_batch`` execution at several batch sizes, and writes the results as
+machine-readable JSON to ``benchmarks/results/BENCH_batch.json`` (uploaded
+as a CI artifact). Acceptance: batch_size=1024 must deliver at least
+``MIN_SPEEDUP``x the throughput of batch_size=1 — the amortization the
+batched pull loop exists for.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batch_speedup.py
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_speedup.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import col, lit
+from repro.executor.operators import Filter, HashJoin, SeqScan
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_batch.json"
+
+BUILD_ROWS = 10_000
+PROBE_ROWS = 120_000
+DOMAIN = 200
+FILTER_CUTOFF = DOMAIN // 2 + 1  # ~50% selectivity on a uniform key
+MIN_SPEEDUP = 3.0
+BEST_OF = 2
+
+#: (label, batch_size) — None is the classic row-at-a-time pull loop.
+CONFIGS = [("row", None), ("batch-1", 1), ("batch-64", 64), ("batch-1024", 1024)]
+
+_TABLES: tuple | None = None
+
+
+def _tables():
+    global _TABLES
+    if _TABLES is None:
+        _TABLES = (
+            customer_variant(z=0.0, domain_size=DOMAIN, variant=0,
+                             num_rows=BUILD_ROWS, name="bb"),
+            customer_variant(z=0.0, domain_size=DOMAIN, variant=1,
+                             num_rows=PROBE_ROWS, name="bp"),
+        )
+    return _TABLES
+
+
+def _make_plan() -> HashJoin:
+    build, probe = _tables()
+    filtered = Filter(SeqScan(probe), col("bp.nationkey") < lit(FILTER_CUTOFF))
+    # num_partitions=1 keeps the join fully in memory: the bench isolates
+    # pull-loop overhead, not spill I/O.
+    return HashJoin(SeqScan(build), filtered, "bb.nationkey", "bp.nationkey",
+                    num_partitions=1)
+
+
+def _measure(batch_size: int | None) -> tuple[float, int]:
+    best = float("inf")
+    output_rows = 0
+    for _ in range(BEST_OF):
+        plan = _make_plan()
+        started = time.perf_counter()
+        result = ExecutionEngine(plan, collect_rows=False).run(batch_size=batch_size)
+        best = min(best, time.perf_counter() - started)
+        output_rows = result.row_count
+    return best, output_rows
+
+
+def run_bench() -> dict:
+    configs = []
+    for label, batch_size in CONFIGS:
+        wall_s, output_rows = _measure(batch_size)
+        configs.append(
+            {
+                "label": label,
+                "batch_size": batch_size,
+                "wall_s": round(wall_s, 4),
+                "output_rows": output_rows,
+                "rows_per_sec": round(output_rows / wall_s, 1),
+            }
+        )
+    by_label = {c["label"]: c for c in configs}
+    payload = {
+        "benchmark": "batch_speedup",
+        "plan": "seq_scan -> filter(~50%) -> hash_join (in-memory)",
+        "build_rows": BUILD_ROWS,
+        "probe_rows": PROBE_ROWS,
+        "configs": configs,
+        "speedup_1024_vs_1": round(
+            by_label["batch-1"]["wall_s"] / by_label["batch-1024"]["wall_s"], 2
+        ),
+        "speedup_1024_vs_row": round(
+            by_label["row"]["wall_s"] / by_label["batch-1024"]["wall_s"], 2
+        ),
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_batch_speedup(report):
+    payload = run_bench()
+    report.table(
+        ["config", "wall_s", "rows/s"],
+        [[c["label"], c["wall_s"], int(c["rows_per_sec"])] for c in payload["configs"]],
+        widths=[12, 10, 14],
+    )
+    report.line(f"speedup 1024 vs 1:   {payload['speedup_1024_vs_1']}x")
+    report.line(f"speedup 1024 vs row: {payload['speedup_1024_vs_row']}x")
+    report.line(f"json: {RESULTS_PATH}")
+    assert payload["speedup_1024_vs_1"] >= MIN_SPEEDUP, payload
+
+
+def main() -> int:
+    payload = run_bench()
+    print(json.dumps(payload, indent=2))
+    ok = payload["speedup_1024_vs_1"] >= MIN_SPEEDUP
+    print(
+        f"{'PASS' if ok else 'FAIL'}: batch-1024 is "
+        f"{payload['speedup_1024_vs_1']}x batch-1 (need >= {MIN_SPEEDUP}x)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,10 @@ on — things no runtime assertion can catch because they only break when
 someone writes new code:
 
 * **R001** — no subclass writes ``tuples_emitted`` outside
-  ``Operator.next()``. That single counter *is* the ``K_i`` of the paper's
-  model; an operator that bumps or resets it corrupts ``C(Q)`` silently.
+  ``Operator.next()`` / ``Operator.next_batch()``. That single counter *is*
+  the ``K_i`` of the paper's model; an operator that bumps or resets it
+  corrupts ``C(Q)`` silently. Batch writes (``+= len(batch)``) belong to
+  ``next_batch`` alone — never to a subclass's ``_next_batch`` drain.
 * **R002** — no ``random`` / ``numpy.random`` use outside
   ``repro/common/rng.py``. All randomness flows through the seeded factory
   so runs are reproducible.
@@ -36,7 +38,7 @@ __all__ = ["RULES", "Violation", "lint_paths", "main"]
 
 #: Rule id -> one-line description (kept in sync with docs/ANALYSIS.md).
 RULES: dict[str, str] = {
-    "R001": "tuples_emitted may only be written by Operator.next()",
+    "R001": "tuples_emitted may only be written by Operator.next()/next_batch()",
     "R002": "random/numpy.random are forbidden outside repro.common.rng",
     "R003": "bare `except:` clauses are forbidden",
     "R004": "Operator subclasses must declare op_name, children and output_schema",
@@ -152,7 +154,8 @@ class _Registry:
 
 
 def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
-    """Writes to ``tuples_emitted`` outside ``Operator.next``/``__init__``."""
+    """Writes to ``tuples_emitted`` outside
+    ``Operator.next``/``Operator.next_batch``/``__init__``."""
     violations: list[Violation] = []
 
     def is_counter_write(stmt: ast.stmt) -> int | None:
@@ -175,7 +178,11 @@ def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
                 visit(child, class_name, child.name)
                 continue
             line = is_counter_write(child) if isinstance(child, ast.stmt) else None
-            allowed = class_name == "Operator" and func_name in ("next", "__init__")
+            allowed = class_name == "Operator" and func_name in (
+                "next",
+                "next_batch",
+                "__init__",
+            )
             if line is not None and not allowed:
                 where = f"{class_name}.{func_name}" if class_name else func_name or "module"
                 violations.append(
@@ -184,7 +191,7 @@ def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
                         path,
                         line,
                         f"write to tuples_emitted in {where}; the K_i counter "
-                        "is maintained solely by Operator.next()",
+                        "is maintained solely by Operator.next()/next_batch()",
                     )
                 )
             if isinstance(child, ast.stmt):

@@ -64,7 +64,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     bus = TickBus(interval=args.tick)
     monitor = ProgressMonitor(compiled.plan, mode=args.mode, bus=bus)
     bus.subscribe(lambda _c: draw(monitor.snapshots))
-    result = ExecutionEngine(compiled.plan, bus=bus, collect_rows=True).run()
+    result = ExecutionEngine(compiled.plan, bus=bus, collect_rows=True).run(
+        batch_size=args.batch_size
+    )
     sys.stderr.write("\r" + _progress_bar(1.0, monitor.snapshot().work_total_estimate))
     sys.stderr.write("\n")
 
@@ -223,10 +225,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tick", type=int, default=2000, help="progress tick interval")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    q = sub.add_parser("query", help="run a SQL query with a live progress bar")
+    q = sub.add_parser(
+        "query", aliases=["run"], help="run a SQL query with a live progress bar"
+    )
     q.add_argument("sql", help="the SELECT statement")
     q.add_argument("--mode", choices=("once", "dne", "byte"), default="once")
     q.add_argument("--max-rows", type=int, default=20)
+    q.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="vectorized execution: pull N rows per next_batch() call "
+        "(default: row-at-a-time)",
+    )
     q.set_defaults(func=cmd_query)
 
     a = sub.add_parser(

@@ -45,6 +45,22 @@ class TickBus:
             for cb in self.callbacks:
                 cb(self.count)
 
+    def tick_n(self, k: int) -> None:
+        """Advance the counter by ``k`` units in one call.
+
+        The batched path's amortized twin of :meth:`tick`: the count ends up
+        exactly where ``k`` single ticks would leave it, and callbacks fire
+        **once** when the jump crosses one or more interval boundaries — not
+        ``k // interval`` times — so a big batch never floods observers.
+        """
+        if k <= 0:
+            return
+        boundary = self.count // self.interval
+        self.count += k
+        if self.count // self.interval != boundary:
+            for cb in self.callbacks:
+                cb(self.count)
+
     def subscribe(self, callback: Callable[[int], None]) -> None:
         self.callbacks.append(callback)
 
@@ -103,26 +119,54 @@ class ExecutionEngine:
         if bus is not None:
             root.attach_bus(bus)
 
-    def run(self, row_callback: Callable[[tuple], None] | None = None) -> ExecutionResult:
-        """Open, drain, and close the plan."""
+    def run(
+        self,
+        row_callback: Callable[[tuple], None] | None = None,
+        batch_size: int | None = None,
+    ) -> ExecutionResult:
+        """Open, drain, and close the plan.
+
+        ``batch_size=None`` pulls the root row at a time (the classic
+        Volcano loop); any positive value switches to the batched pull loop
+        (``Operator.next_batch``), which produces the same rows, the same
+        per-operator counts and the same bus totals with the per-row
+        bookkeeping amortized over each batch.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         rows: list[tuple] | None = [] if self.collect_rows else None
         bus = self.bus
         started = time.perf_counter()
         self.root.open()
         try:
             count = 0
-            root_next = self.root.next
-            while True:
-                row = root_next()
-                if row is None:
-                    break
-                count += 1
-                if bus is not None:
-                    bus.tick()
-                if rows is not None:
-                    rows.append(row)
-                if row_callback is not None:
-                    row_callback(row)
+            if batch_size is None:
+                root_next = self.root.next
+                while True:
+                    row = root_next()
+                    if row is None:
+                        break
+                    count += 1
+                    if bus is not None:
+                        bus.tick()
+                    if rows is not None:
+                        rows.append(row)
+                    if row_callback is not None:
+                        row_callback(row)
+            else:
+                root_next_batch = self.root.next_batch
+                while True:
+                    batch = root_next_batch(batch_size)
+                    if not batch:
+                        break
+                    count += len(batch)
+                    if bus is not None:
+                        bus.tick_n(len(batch))
+                    if rows is not None:
+                        rows.extend(batch)
+                    if row_callback is not None:
+                        for row in batch:
+                            row_callback(row)
         finally:
             self.root.close()
         elapsed = time.perf_counter() - started

@@ -13,6 +13,7 @@ Supported aggregate functions: count, sum, min, max, avg, count_distinct.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Callable, Iterator, Sequence
 
 from repro.common.errors import PlanError
@@ -106,6 +107,13 @@ class _AggregateBase(Operator):
             self._emit_iter = self._consume_and_group()
         return next(self._emit_iter, None)
 
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        if self._emit_iter is None:
+            # First batch pull fixes the input-drain granularity; the emit
+            # stream is then sliced batch by batch.
+            self._emit_iter = self._consume_and_group(consume=max_rows)
+        return list(islice(self._emit_iter, max_rows))
+
     def _close(self) -> None:
         self._emit_iter = None
 
@@ -166,7 +174,7 @@ class _AggregateBase(Operator):
         ]
         return group_idxs, value_idxs
 
-    def _consume_and_group(self) -> Iterator[tuple]:
+    def _consume_and_group(self, consume: int = 1) -> Iterator[tuple]:
         raise NotImplementedError
 
 
@@ -175,31 +183,56 @@ class HashAggregate(_AggregateBase):
 
     op_name = "hash_aggregate"
 
-    def _consume_and_group(self) -> Iterator[tuple]:
+    def _consume_and_group(self, consume: int = 1) -> Iterator[tuple]:
         self._set_phase("partition")
         group_idxs, value_idxs = self._bind_inputs()
         hooks = self.input_hooks
         single = len(group_idxs) == 1
         groups: dict[object, list] = {}
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            self.rows_consumed += 1
-            if single:
-                key = row[group_idxs[0]]
-            elif group_idxs:
-                key = tuple(row[i] for i in group_idxs)
-            else:
-                key = ()
-            if hooks:
-                for hook in hooks:
-                    hook(key, row)
-            states = groups.get(key)
-            if states is None:
-                states = groups[key] = self._make_state()
-            self._update_state(states, row, value_idxs)
-            self._tick()
+        # The row and batch drains are spelled out separately (same per-row
+        # body) so neither path pays a per-row closure call.
+        if consume > 1:
+            child = self.child
+            while True:
+                batch = child.next_batch(consume)
+                if not batch:
+                    break
+                self.rows_consumed += len(batch)
+                for row in batch:
+                    if single:
+                        key = row[group_idxs[0]]
+                    elif group_idxs:
+                        key = tuple(row[i] for i in group_idxs)
+                    else:
+                        key = ()
+                    if hooks:
+                        for hook in hooks:
+                            hook(key, row)
+                    states = groups.get(key)
+                    if states is None:
+                        states = groups[key] = self._make_state()
+                    self._update_state(states, row, value_idxs)
+                self._tick_n(len(batch))
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                self.rows_consumed += 1
+                if single:
+                    key = row[group_idxs[0]]
+                elif group_idxs:
+                    key = tuple(row[i] for i in group_idxs)
+                else:
+                    key = ()
+                if hooks:
+                    for hook in hooks:
+                        hook(key, row)
+                states = groups.get(key)
+                if states is None:
+                    states = groups[key] = self._make_state()
+                self._update_state(states, row, value_idxs)
+                self._tick()
         self.groups_seen = len(groups)
         self._set_phase("emit")
         for key, states in groups.items():
@@ -213,27 +246,46 @@ class SortAggregate(_AggregateBase):
 
     op_name = "sort_aggregate"
 
-    def _consume_and_group(self) -> Iterator[tuple]:
+    def _consume_and_group(self, consume: int = 1) -> Iterator[tuple]:
         if not self.group_by:
             # Degenerate to hash aggregation semantics for a global group.
-            yield from HashAggregate._consume_and_group(self)  # type: ignore[arg-type]
+            yield from HashAggregate._consume_and_group(self, consume)  # type: ignore[arg-type]
             return
         self._set_phase("read_input")
         group_idxs, value_idxs = self._bind_inputs()
         hooks = self.input_hooks
         single = len(group_idxs) == 1
         rows: list[tuple] = []
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            self.rows_consumed += 1
-            if hooks:
-                key = row[group_idxs[0]] if single else tuple(row[i] for i in group_idxs)
-                for hook in hooks:
-                    hook(key, row)
-            rows.append(row)
-            self._tick()
+        if consume > 1:
+            child = self.child
+            while True:
+                batch = child.next_batch(consume)
+                if not batch:
+                    break
+                self.rows_consumed += len(batch)
+                if hooks:
+                    for row in batch:
+                        key = (
+                            row[group_idxs[0]]
+                            if single
+                            else tuple(row[i] for i in group_idxs)
+                        )
+                        for hook in hooks:
+                            hook(key, row)
+                rows.extend(batch)
+                self._tick_n(len(batch))
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                self.rows_consumed += 1
+                if hooks:
+                    key = row[group_idxs[0]] if single else tuple(row[i] for i in group_idxs)
+                    for hook in hooks:
+                        hook(key, row)
+                rows.append(row)
+                self._tick()
         self._set_phase("sort")
         if single:
             idx = group_idxs[0]

@@ -13,6 +13,22 @@ State machine
 publish a free-form ``phase`` string ("build", "partition_probe", "join",
 ...) and fire ``phase_hooks`` on transitions so estimators know which pass
 is running.
+
+Batched contract
+----------------
+:meth:`next_batch` is the amortized twin of :meth:`next`: it returns up to
+``max_rows`` output rows as a list, in exactly the order :meth:`next` would
+have produced them. An *empty* list signals exhaustion; a short non-empty
+batch does **not** (callers loop until empty). The default implementation
+falls back to repeated ``_next()`` calls, so every operator is batchable
+out of the box; hot operators override ``_next_batch`` with vectorized
+drains. Instrumentation equivalence is part of the contract:
+``tuples_emitted`` advances by ``len(batch)``, per-row hooks (build/probe/
+input) still fire once per row *in row order* inside native batch
+implementations, and blocking-phase work reaches the tick bus through
+:meth:`TickBus.tick_n`, so ``C(Q)``, phase transitions and every
+estimator's ``D_{t+1}`` refinement observe the same counts and per-key
+updates as the row-at-a-time path. See docs/BATCHING.md.
 """
 
 from __future__ import annotations
@@ -111,6 +127,34 @@ class Operator(ABC):
         self.tuples_emitted += 1
         return row
 
+    def next_batch(self, max_rows: int) -> list[tuple]:
+        """Produce up to ``max_rows`` output rows; ``[]`` means exhausted.
+
+        Rows come in exactly the order repeated :meth:`next` calls would
+        produce them, and a short non-empty batch does *not* imply
+        exhaustion — callers pull until an empty batch. ``tuples_emitted``
+        (the ``K_i`` counter) advances by ``len(batch)``, so ``C(Q)`` is
+        identical between the row and batch paths.
+        """
+        if self.state is OperatorState.EXHAUSTED:
+            return []
+        if self.state is not OperatorState.OPEN:
+            raise ExecutorError(
+                f"{self.op_name}: next_batch() called in state {self.state.value}"
+            )
+        if max_rows < 1:
+            raise ExecutorError(
+                f"{self.op_name}: next_batch() needs max_rows >= 1, got {max_rows}"
+            )
+        batch = self._next_batch(max_rows)
+        if not batch:
+            self.state = OperatorState.EXHAUSTED
+            self._exhausted = True
+            self._set_phase("done")
+            return batch
+        self.tuples_emitted += len(batch)
+        return batch
+
     def close(self) -> None:
         if self.state is OperatorState.CLOSED:
             return
@@ -135,6 +179,27 @@ class Operator(ABC):
     def _next(self) -> tuple | None:
         """Produce one row or None."""
 
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        """Produce up to ``max_rows`` rows (``[]`` = exhausted).
+
+        Default: the automatic row-at-a-time fallback — every operator is
+        batchable without opting in. Overrides must emit rows in the same
+        order as ``_next`` and keep firing per-row hooks in row order;
+        ``tuples_emitted`` is maintained by :meth:`next_batch`, never here.
+        ``_next`` must stay callable after it has returned None (all
+        implementations use exhausted-iterator semantics), because a short
+        batch defers the exhaustion transition to the following call.
+        """
+        batch: list[tuple] = []
+        append = batch.append
+        produce = self._next
+        for _ in range(max_rows):
+            row = produce()
+            if row is None:
+                break
+            append(row)
+        return batch
+
     def _close(self) -> None:
         """Hook for subclass close logic."""
 
@@ -156,6 +221,17 @@ class Operator(ABC):
         bus = self.bus
         if bus is not None:
             bus.tick()
+
+    def _tick_n(self, k: int) -> None:
+        """Report ``k`` units of internal work in one amortized call.
+
+        The batch-path twin of :meth:`_tick`: native batch implementations
+        call it once per input batch instead of once per row, so the bus
+        count advances identically while the per-row bookkeeping vanishes.
+        """
+        bus = self.bus
+        if bus is not None:
+            bus.tick_n(k)
 
     def attach_bus(self, bus: "TickBus | None") -> None:
         """Attach a tick bus to this whole subtree."""

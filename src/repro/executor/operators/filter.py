@@ -56,6 +56,19 @@ class Filter(Operator):
             if self._bound(row):
                 return row
 
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        assert self._bound is not None
+        bound = self._bound
+        child = self.child
+        while True:
+            batch = child.next_batch(max_rows)
+            if not batch:
+                return []
+            self.rows_consumed += len(batch)
+            survivors = [row for row in batch if bound(row)]
+            if survivors:
+                return survivors
+
     @property
     def observed_selectivity(self) -> float:
         """Fraction of consumed rows that passed, so far."""

@@ -27,6 +27,7 @@ and byte estimates fluctuate under skew.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Callable, Iterator, Sequence
 
 from repro.common.errors import PlanError
@@ -146,20 +147,49 @@ class HashJoin(Operator):
 
     def _open(self) -> None:
         self._set_phase("init")
-        self._gen = self._run_hybrid()
+        # The generator is created lazily on the first pull: the first
+        # next_batch() call fixes the internal consume granularity, while a
+        # first next() call yields the classic row-at-a-time loop. Either
+        # way the emitted row stream is identical.
+        self._gen = None
 
     def _next(self) -> tuple | None:
-        assert self._gen is not None, "next() before open()"
-        return next(self._gen, None)
+        gen = self._gen
+        if gen is None:
+            gen = self._gen = self._run_hybrid()
+        return next(gen, None)
+
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        gen = self._gen
+        if gen is None:
+            gen = self._gen = self._run_hybrid(consume=max_rows)
+        return list(islice(gen, max_rows))
 
     def _close(self) -> None:
         self._gen = None
 
-    def _consume_build(self, on_row: Callable[[object, tuple], None]) -> None:
+    def _consume_build(
+        self, on_row: Callable[[object, tuple], None], consume: int = 1
+    ) -> None:
         """Read the whole build input, firing hooks and ``on_row``."""
         self._set_phase("build")
         extract = self._key_extractor(self.build_child.output_schema, self.build_keys)
         hooks = self.build_hooks
+        if consume > 1:
+            child = self.build_child
+            while True:
+                batch = child.next_batch(consume)
+                if not batch:
+                    return
+                self.build_rows_consumed += len(batch)
+                for row in batch:
+                    key = extract(row)
+                    if hooks:
+                        for hook in hooks:
+                            hook(key, row)
+                    if key is not None:
+                        on_row(key, row)
+                self._tick_n(len(batch))
         while True:
             row = self.build_child.next()
             if row is None:
@@ -200,7 +230,7 @@ class HashJoin(Operator):
                     yield probe_row
         return emit
 
-    def _run_hybrid(self) -> Iterator[tuple]:
+    def _run_hybrid(self, consume: int = 1) -> Iterator[tuple]:
         """Hybrid hash join.
 
         Build pass: partition the build input; partitions below
@@ -209,6 +239,12 @@ class HashJoin(Operator):
         order; tuples hitting an in-memory partition join and emit
         immediately, the rest are spilled. Join pass: spilled partitions are
         joined one at a time, so their output is clustered by partition.
+
+        ``consume`` is the granularity at which the *inputs* are pulled:
+        1 preserves the classic per-row loops; larger values drain children
+        through ``next_batch`` and amortize tick-bus traffic via ``tick_n``.
+        Hooks still fire once per input row, in input order, so estimator
+        refinement is bit-identical in both modes.
         """
         n_parts = self.num_partitions
         n_memory = self.memory_partitions
@@ -226,7 +262,7 @@ class HashJoin(Operator):
             else:
                 spilled_build[part - n_memory].append((key, row))
 
-        self._consume_build(insert)
+        self._consume_build(insert, consume)
 
         emit = self._make_emitter()
 
@@ -242,25 +278,48 @@ class HashJoin(Operator):
         ]
         extract = self._key_extractor(self.probe_child.output_schema, self.probe_keys)
         hooks = self.probe_hooks
-        while True:
-            probe_row = self.probe_child.next()
-            if probe_row is None:
-                break
-            self.probe_rows_consumed += 1
-            key = extract(probe_row)
-            if hooks:
-                for hook in hooks:
-                    hook(key, probe_row)
-            self._tick()
-            if key is None:
-                # NULL keys never match; outer/anti semantics still emit.
-                yield from emit(None, probe_row)
-                continue
-            part = hash(key) % n_parts
-            if part < n_memory:
-                yield from emit(memory_tables[part].get(key), probe_row)
-            else:
-                spilled_probe[part - n_memory].append((key, probe_row))
+        if consume > 1:
+            probe_child = self.probe_child
+            while True:
+                batch = probe_child.next_batch(consume)
+                if not batch:
+                    break
+                self.probe_rows_consumed += len(batch)
+                self._tick_n(len(batch))
+                for probe_row in batch:
+                    key = extract(probe_row)
+                    if hooks:
+                        for hook in hooks:
+                            hook(key, probe_row)
+                    if key is None:
+                        # NULL keys never match; outer/anti still emit.
+                        yield from emit(None, probe_row)
+                        continue
+                    part = hash(key) % n_parts
+                    if part < n_memory:
+                        yield from emit(memory_tables[part].get(key), probe_row)
+                    else:
+                        spilled_probe[part - n_memory].append((key, probe_row))
+        else:
+            while True:
+                probe_row = self.probe_child.next()
+                if probe_row is None:
+                    break
+                self.probe_rows_consumed += 1
+                key = extract(probe_row)
+                if hooks:
+                    for hook in hooks:
+                        hook(key, probe_row)
+                self._tick()
+                if key is None:
+                    # NULL keys never match; outer/anti semantics still emit.
+                    yield from emit(None, probe_row)
+                    continue
+                part = hash(key) % n_parts
+                if part < n_memory:
+                    yield from emit(memory_tables[part].get(key), probe_row)
+                else:
+                    spilled_probe[part - n_memory].append((key, probe_row))
 
         # Join pass over spilled partitions: output clustered by partition,
         # the reordering the paper's Figure 4 discussion relies on.
@@ -271,7 +330,12 @@ class HashJoin(Operator):
                 for key, row in spilled_build[part_id]:
                     table.setdefault(key, []).append(row)
                 spilled_build[part_id] = []  # release as we go
-                for key, probe_row in spilled_probe[part_id]:
-                    self._tick()
-                    yield from emit(table.get(key), probe_row)
+                if consume > 1:
+                    self._tick_n(len(spilled_probe[part_id]))
+                    for key, probe_row in spilled_probe[part_id]:
+                        yield from emit(table.get(key), probe_row)
+                else:
+                    for key, probe_row in spilled_probe[part_id]:
+                        self._tick()
+                        yield from emit(table.get(key), probe_row)
                 spilled_probe[part_id] = []

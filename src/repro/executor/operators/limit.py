@@ -35,3 +35,12 @@ class Limit(Operator):
         if self.tuples_emitted >= self.n:
             return None
         return self.child.next()
+
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        # Cap the *request*, not the result: the child is never pulled past
+        # the limit, so neither its counter nor ours can over-emit when the
+        # cutoff lands mid-batch.
+        remaining = self.n - self.tuples_emitted
+        if remaining <= 0:
+            return []
+        return self.child.next_batch(min(max_rows, remaining))

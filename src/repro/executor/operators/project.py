@@ -68,3 +68,11 @@ class Project(Operator):
         if row is None:
             return None
         return tuple(fn(row) for fn in self._bound)
+
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        assert self._bound is not None
+        bound = self._bound
+        return [
+            tuple(fn(row) for fn in bound)
+            for row in self.child.next_batch(max_rows)
+        ]

@@ -12,6 +12,7 @@ operator when the random sample is over".
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Callable, Iterator
 
 from repro.executor.operators.base import Operator
@@ -54,6 +55,10 @@ class SeqScan(Operator):
     def _next(self) -> tuple | None:
         assert self._iter is not None, "next() before open()"
         return next(self._iter, None)
+
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        assert self._iter is not None, "next_batch() before open()"
+        return list(islice(self._iter, max_rows))
 
     def _close(self) -> None:
         self._iter = None
@@ -123,6 +128,10 @@ class IndexScan(Operator):
         assert self._iter is not None, "next() before open()"
         return next(self._iter, None)
 
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        assert self._iter is not None, "next_batch() before open()"
+        return list(islice(self._iter, max_rows))
+
     def _close(self) -> None:
         self._iter = None
 
@@ -189,6 +198,25 @@ class SampleScan(Operator):
                 hook(self)
         assert self._remainder_iter is not None
         return next(self._remainder_iter, None)
+
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        if self.in_sample_portion:
+            assert self._sample_iter is not None
+            batch = list(islice(self._sample_iter, max_rows))
+            if len(batch) == max_rows:
+                return batch
+            # Sample exhausted mid-batch: the boundary punctuation fires at
+            # the same point in the row stream as in the row path — after
+            # the last sample row, before the first remainder row.
+            self.in_sample_portion = False
+            self._set_phase("remainder")
+            for hook in self.sample_boundary_hooks:
+                hook(self)
+            assert self._remainder_iter is not None
+            batch.extend(islice(self._remainder_iter, max_rows - len(batch)))
+            return batch
+        assert self._remainder_iter is not None
+        return list(islice(self._remainder_iter, max_rows))
 
     def _close(self) -> None:
         self._sample_iter = None

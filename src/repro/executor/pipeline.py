@@ -17,6 +17,11 @@ Each pipeline knows its *driver*: the source operator whose consumption
 rate indicates pipeline progress (the probe-side scan of a hash join chain,
 the outer scan of an NL join, a blocking operator's output for pipelines
 rooted just above one).
+
+Decomposition is independent of the pull discipline: batched execution
+(``next_batch``, see ``docs/BATCHING.md``) advances the same ``K_i``
+counters through the same pipelines, so progress state, phase transitions
+and driver accounting are identical in row and batch mode.
 """
 
 from __future__ import annotations

@@ -32,7 +32,9 @@ class TestRules:
     def test_r001_counter_write_in_subclass(self):
         violations = lint_paths([fixture("bad_tuples_emitted.py")])
         assert rules_of(violations) >= {"R001"}
-        assert len([v for v in violations if v.rule == "R001"]) == 2
+        # _next, reset_counter, and the subclass's own next_batch: batch
+        # counter writes are legal only in Operator.next_batch itself.
+        assert len([v for v in violations if v.rule == "R001"]) == 3
         assert "tuples_emitted" in violations[0].message
 
     def test_r002_raw_rng_use(self):

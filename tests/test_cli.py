@@ -27,6 +27,17 @@ class TestArgParsing:
         with pytest.raises(SystemExit):
             build_arg_parser().parse_args(["query", "SELECT 1", "--mode", "magic"])
 
+    def test_run_alias_and_batch_size(self):
+        args = build_arg_parser().parse_args(
+            ["run", "SELECT * FROM nation", "--batch-size", "1024"]
+        )
+        assert args.batch_size == 1024
+        assert args.func.__name__ == "cmd_query"
+
+    def test_batch_size_defaults_to_row_mode(self):
+        args = build_arg_parser().parse_args(["query", "SELECT * FROM nation"])
+        assert args.batch_size is None
+
 
 class TestCommands:
     def test_query_end_to_end(self, capsys):
@@ -52,6 +63,18 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "more rows" in out
+
+    def test_batched_query_matches_row_mode(self, capsys):
+        argv = [
+            "--sf", "0.001", "--tick", "200",
+            "run",
+            "SELECT regionkey, COUNT(*) AS n FROM nation GROUP BY regionkey",
+        ]
+        assert main(argv) == 0
+        row_out = capsys.readouterr().out
+        assert main(argv + ["--batch-size", "64"]) == 0
+        batch_out = capsys.readouterr().out
+        assert batch_out == row_out
 
     def test_demo_runs(self, capsys):
         code = main(["--sf", "0.001", "--tick", "500", "demo"])

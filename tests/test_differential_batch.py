@@ -1,0 +1,311 @@
+"""Differential row-vs-batch oracle harness.
+
+Generates ~200 seeded random plans over skewed (Zipf) data and asserts that
+row-at-a-time execution and batched execution (batch sizes 1, 7 and 1024)
+are observationally identical: same output rows in the same order, same
+per-operator ``tuples_emitted`` (the K_i of the progress model), same
+``TickBus`` counts, and bit-identical final T(Q) / ONCE join estimates.
+
+Plan shapes follow the instrumentation-equivalence contract documented in
+``docs/BATCHING.md``: a *truncating* LIMIT is only placed where equivalence
+is exact — directly over a scan (the request is capped, not the result),
+over a blocking operator (full input drain either way), or over an operator
+that uses the row-at-a-time fallback (``Distinct``). Over a streaming
+``Filter``/``HashJoin`` the batch path's bounded read-ahead makes upstream
+counts diverge by design; that bound is covered by
+``tests/test_batch_operators.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.core.progress import ProgressMonitor
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine, TickBus
+from repro.executor.expressions import col, lit
+from repro.executor.operators import (
+    AggregateSpec,
+    Distinct,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    Limit,
+    Materialize,
+    Project,
+    SampleScan,
+    SeqScan,
+    Sort,
+    SortAggregate,
+)
+from repro.executor.plan import walk
+from repro.storage.schema import ColumnType, Schema
+from repro.storage.table import Table
+
+HARNESS_SEED = 0xD1FF
+NUM_PLANS = 200
+BATCH_SIZES = (1, 7, 1024)
+TICK_INTERVAL = 64
+
+# -- shared data ---------------------------------------------------------------
+# Built once: the harness re-instantiates *operators* per run, never data.
+
+_TABLES: list[Table] | None = None
+_NULLABLE: Table | None = None
+
+
+def _customer_tables() -> list[Table]:
+    global _TABLES
+    if _TABLES is None:
+        _TABLES = [
+            customer_variant(z=1.0, domain_size=20, variant=0, num_rows=220, name="c1"),
+            customer_variant(z=1.5, domain_size=20, variant=1, num_rows=180, name="c2"),
+            customer_variant(z=0.3, domain_size=30, variant=2, num_rows=150, name="c3"),
+        ]
+    return _TABLES
+
+
+def _nullable_table() -> Table:
+    """A pair table whose join key is NULL ~10% of the time."""
+    global _NULLABLE
+    if _NULLABLE is None:
+        rng = make_rng(HARNESS_SEED, "nullable")
+        rows = [
+            (None if rng.random() < 0.1 else int(rng.integers(1, 21)), i)
+            for i in range(160)
+        ]
+        _NULLABLE = Table("tn", Schema.of("k:int", "v:int"), rows, block_size=16)
+    return _NULLABLE
+
+
+# -- random plan generator -----------------------------------------------------
+
+
+@dataclass
+class _Shape:
+    """A plan under construction plus the flags the generator tracks."""
+
+    op: object
+    schema: Schema
+    nonnull: list[str]  # columns that can never hold None
+    exact_under_limit: bool  # see the module docstring / docs/BATCHING.md
+
+
+def _pick(rng, items):
+    return items[int(rng.integers(0, len(items)))]
+
+
+def _scan(rng, *, allow_nullable: bool, alias_suffix: str = "") -> _Shape:
+    if allow_nullable and rng.random() < 0.18:
+        table = _nullable_table()
+        if alias_suffix:
+            table = table.aliased(table.name + alias_suffix)
+        return _Shape(SeqScan(table), table.schema, [f"{table.name}.v"], True)
+    table = _pick(rng, _customer_tables())
+    if alias_suffix:
+        table = table.aliased(table.name + alias_suffix)
+    names = table.schema.names()
+    kind = rng.random()
+    if kind < 0.25:
+        low = int(rng.integers(1, 8))
+        op = IndexScan(table, f"{table.name}.nationkey", low=low)
+    elif kind < 0.45:
+        fraction = float(rng.uniform(0.1, 0.4))
+        op = SampleScan(table, fraction, seed=int(rng.integers(0, 2**31)))
+    else:
+        op = SeqScan(table)
+    return _Shape(op, table.schema, list(names), True)
+
+
+def _maybe_filter(rng, shape: _Shape) -> _Shape:
+    if rng.random() >= 0.5:
+        return shape
+    candidates = [
+        c.qualified_name
+        for c in shape.schema
+        if c.ctype is ColumnType.INT and c.qualified_name in shape.nonnull
+    ]
+    if not candidates:
+        return shape
+    column = _pick(rng, candidates)
+    cutoff = int(rng.integers(2, 26))
+    pred = col(column) < lit(cutoff) if rng.random() < 0.7 else col(column) >= lit(cutoff)
+    return _Shape(Filter(shape.op, pred), shape.schema, shape.nonnull, False)
+
+
+def _maybe_join(rng, probe: _Shape) -> _Shape:
+    if rng.random() >= 0.75:
+        return probe
+    build = _scan(rng, allow_nullable=rng.random() < 0.25, alias_suffix="b")
+    build = _maybe_filter(rng, build)
+
+    def join_key(schema: Schema) -> str:
+        # The nullable table joins on "k", the customer tables on "nationkey".
+        for column in schema:
+            if column.name in ("k", "nationkey"):
+                return column.qualified_name
+        raise AssertionError(f"no join key in {schema!r}")
+
+    build_key = join_key(build.schema)
+    probe_key = join_key(probe.schema)
+    join_type = _pick(rng, ["inner", "inner", "semi", "anti", "outer"])
+    num_partitions = _pick(rng, [1, 2, 4, 8])
+    memory_partitions = _pick(rng, [1, num_partitions])
+    join = HashJoin(
+        build.op,
+        probe.op,
+        build_key,
+        probe_key,
+        num_partitions=num_partitions,
+        memory_partitions=memory_partitions,
+        join_type=join_type,
+    )
+    if join_type == "inner":
+        nonnull = build.nonnull + probe.nonnull
+    else:
+        # semi/anti keep only probe columns; outer NULL-pads the build side.
+        nonnull = list(probe.nonnull)
+    return _Shape(join, join.output_schema, nonnull, False)
+
+
+def _maybe_shaper(rng, shape: _Shape) -> _Shape:
+    """Optionally cap the plan with a projection, aggregation, distinct or
+    sort.  Sort-based operators only see columns proven non-NULL."""
+    choice = rng.random()
+    int_cols = [c.qualified_name for c in shape.schema if c.ctype is ColumnType.INT]
+    sum_col = _pick(rng, int_cols) if int_cols and rng.random() < 0.7 else None
+    aggregates = [AggregateSpec("count", alias="n")]
+    if sum_col is not None:
+        aggregates.append(AggregateSpec("sum", sum_col, alias="s"))
+    if choice < 0.2:
+        return shape
+    if choice < 0.4:
+        names = shape.schema.names()
+        keep = max(1, int(rng.integers(1, len(names) + 1)))
+        picked = [names[i] for i in sorted(rng.choice(len(names), size=keep, replace=False))]
+        proj = Project(shape.op, picked)
+        nonnull = [n for n in picked if n in shape.nonnull]
+        return _Shape(proj, proj.output_schema, nonnull, shape.exact_under_limit)
+    if choice < 0.6:
+        group = _pick(rng, shape.schema.names())
+        agg = HashAggregate(shape.op, [group], aggregates)
+        return _Shape(agg, agg.output_schema, [], True)
+    if choice < 0.72 and shape.nonnull:
+        group = _pick(rng, shape.nonnull)
+        agg = SortAggregate(shape.op, [group], aggregates)
+        return _Shape(agg, agg.output_schema, [], True)
+    if choice < 0.86:
+        names = shape.schema.names()
+        keep = min(len(names), 2)
+        picked = [names[i] for i in sorted(rng.choice(len(names), size=keep, replace=False))]
+        op = Distinct(Project(shape.op, picked))
+        return _Shape(op, op.output_schema, [], True)
+    if shape.nonnull:
+        key = _pick(rng, shape.nonnull)
+        op = Sort(shape.op, [key])
+        return _Shape(op, op.output_schema, shape.nonnull, True)
+    return shape
+
+
+def _maybe_limit(rng, shape: _Shape) -> _Shape:
+    if rng.random() >= 0.35:
+        return shape
+    if shape.exact_under_limit and rng.random() < 0.7:
+        n = int(rng.integers(1, 80))
+        return _Shape(Limit(shape.op, n), shape.schema, shape.nonnull, True)
+    if rng.random() < 0.4:
+        # Materialize is a blocking barrier: a truncating LIMIT above it is
+        # exact even when the subtree below streams.
+        n = int(rng.integers(1, 80))
+        op = Limit(Materialize(shape.op), n)
+        return _Shape(op, shape.schema, shape.nonnull, True)
+    return _Shape(Limit(shape.op, 10**6), shape.schema, shape.nonnull, shape.exact_under_limit)
+
+
+def build_plan(trial: int):
+    """Deterministically build trial ``i``'s plan; every call with the same
+    ``trial`` yields a structurally identical plan with fresh operators."""
+    rng = make_rng(HARNESS_SEED, "plan", trial)
+    shape = _scan(rng, allow_nullable=True)
+    shape = _maybe_filter(rng, shape)
+    shape = _maybe_join(rng, shape)
+    shape = _maybe_shaper(rng, shape)
+    shape = _maybe_limit(rng, shape)
+    return shape.op
+
+
+# -- execution + comparison ----------------------------------------------------
+
+
+@dataclass
+class _Observation:
+    rows: list[tuple]
+    counts: list[tuple[str, int]]
+    bus_count: int
+    true_total: float
+    t_q: float
+    join_estimates: list[float | None]
+
+
+def _observe(trial: int, batch_size: int | None) -> _Observation:
+    plan = build_plan(trial)
+    bus = TickBus(interval=TICK_INTERVAL)
+    monitor = ProgressMonitor(plan, mode="once", bus=bus)
+    result = ExecutionEngine(plan, bus=bus, collect_rows=True).run(batch_size=batch_size)
+    final = monitor.snapshot()
+    assert monitor.manager is not None
+    join_estimates = [
+        monitor.manager.estimate_for(op)
+        for op in walk(plan)
+        if isinstance(op, HashJoin)
+    ]
+    return _Observation(
+        rows=result.rows or [],
+        counts=[(op.op_name, op.tuples_emitted) for op in walk(plan)],
+        bus_count=bus.count,
+        true_total=monitor.true_total(),
+        t_q=final.work_total_estimate,
+        join_estimates=join_estimates,
+    )
+
+
+@pytest.mark.parametrize("trial", range(NUM_PLANS))
+def test_row_and_batch_modes_agree(trial):
+    reference = _observe(trial, batch_size=None)
+    assert reference.t_q == reference.true_total  # final estimate is exact
+    for batch_size in BATCH_SIZES:
+        got = _observe(trial, batch_size=batch_size)
+        context = f"trial={trial} batch_size={batch_size}"
+        assert got.rows == reference.rows, context
+        assert got.counts == reference.counts, context
+        assert got.bus_count == reference.bus_count, context
+        assert got.true_total == reference.true_total, context
+        assert got.t_q == reference.t_q, context
+        assert got.join_estimates == reference.join_estimates, context
+
+
+def test_harness_covers_the_plan_space():
+    """Meta-check: the random generator actually exercises joins, shapers
+    and truncating limits rather than collapsing to bare scans."""
+    kinds = set()
+    for trial in range(NUM_PLANS):
+        for op in walk(build_plan(trial)):
+            kinds.add(op.op_name)
+    assert {
+        "seq_scan",
+        "index_scan",
+        "sample_scan",
+        "filter",
+        "hash_join",
+        "project",
+        "hash_aggregate",
+        "sort_aggregate",
+        "distinct",
+        "sort",
+        "limit",
+        "materialize",
+    } <= kinds
