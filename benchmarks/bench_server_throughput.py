@@ -1,0 +1,172 @@
+"""Progress-service throughput and watch-latency microbench.
+
+Runs the in-process :class:`~repro.server.service.ProgressService` (no
+TCP: the bench isolates scheduling + progress fan-out, not socket I/O)
+at 1, 4, and 16 concurrent sessions over a 4-worker scheduler and
+measures
+
+* workload wall time and completed sessions/second,
+* aggregate output rows/second across all sessions,
+* snapshot-stream latency: the delay between a worker publishing a
+  snapshot and an event-bus subscriber receiving it, matched by
+  ``(session_id, seq)``.
+
+Results land in ``benchmarks/results/BENCH_server.json`` (uploaded as a
+CI artifact). Acceptance: every session finishes at 1.0 at every
+concurrency level, and 16 sessions on 4 workers must not take 16x the
+single-session wall time (time-slicing has to actually overlap work).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.datagen.skew import customer_variant
+from repro.server import ProgressService
+from repro.storage.catalog import Catalog
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_server.json"
+
+ROWS = 1500
+DOMAIN = 200
+CONCURRENCY_LEVELS = (1, 4, 16)
+WORKERS = 4
+QUERY = "SELECT ca.custkey, cb.custkey FROM ca JOIN cb ON ca.nationkey = cb.nationkey"
+MAX_SCALING_PENALTY = 16.0  # 16 sessions must beat 16x the 1-session wall
+
+_CATALOG: Catalog | None = None
+
+
+def _catalog() -> Catalog:
+    global _CATALOG
+    if _CATALOG is None:
+        _CATALOG = Catalog()
+        _CATALOG.register(
+            customer_variant(z=0.0, domain_size=DOMAIN, variant=0,
+                             num_rows=ROWS, name="ca")
+        )
+        _CATALOG.register(
+            customer_variant(z=0.0, domain_size=DOMAIN, variant=1,
+                             num_rows=ROWS, name="cb")
+        )
+    return _CATALOG
+
+
+def _measure(sessions: int) -> dict:
+    svc = ProgressService(
+        _catalog(), workers=WORKERS, quantum_rows=256, tick_interval=500,
+        row_cap=0, max_pending=sessions,
+    )
+    publish_times: dict[tuple[str, int], float] = {}
+    receive_times: dict[tuple[str, int], float] = {}
+    subscription = svc.events.subscribe(maxlen=100_000)
+
+    def drain() -> None:
+        for event in subscription:
+            if event.get("event") == "snapshot":
+                wire = event["session"]
+                receive_times[(wire["session_id"], wire["seq"])] = time.time()
+
+    drainer = threading.Thread(target=drain, daemon=True)
+    drainer.start()
+    svc.scheduler.start()
+    started = time.perf_counter()
+    submitted = []
+    for i in range(sessions):
+        session = svc.submit_sql(QUERY, name=f"bench-{i}")
+        session.add_listener(
+            lambda s, snap: publish_times.setdefault(
+                (snap.session_id, snap.seq), time.time()
+            )
+        )
+        submitted.append(session)
+    svc.scheduler.run_until_complete()
+    wall_s = time.perf_counter() - started
+    svc.shutdown()
+    drainer.join(timeout=30.0)
+
+    assert all(s.snapshot().progress == 1.0 for s in submitted)
+    assert all(s.state.value == "finished" for s in submitted)
+    total_rows = sum(s.row_count for s in submitted)
+    latencies = sorted(
+        receive_times[key] - publish_times[key]
+        for key in receive_times
+        if key in publish_times and receive_times[key] >= publish_times[key]
+    )
+    def at(q: float) -> float:
+        return latencies[min(int(q * len(latencies)), len(latencies) - 1)]
+    return {
+        "sessions": sessions,
+        "workers": WORKERS,
+        "wall_s": round(wall_s, 4),
+        "sessions_per_sec": round(sessions / wall_s, 2),
+        "rows_per_sec": round(total_rows / wall_s, 1),
+        "output_rows": total_rows,
+        "events_observed": len(receive_times),
+        "watch_latency_ms_p50": round(at(0.50) * 1000, 3) if latencies else None,
+        "watch_latency_ms_p95": round(at(0.95) * 1000, 3) if latencies else None,
+    }
+
+
+def run_bench() -> dict:
+    levels = [_measure(n) for n in CONCURRENCY_LEVELS]
+    by_sessions = {level["sessions"]: level for level in levels}
+    scaling = round(
+        by_sessions[16]["wall_s"] / by_sessions[1]["wall_s"], 2
+    )
+    payload = {
+        "benchmark": "server_throughput",
+        "query": QUERY,
+        "table_rows": ROWS,
+        "levels": levels,
+        "wall_16_over_wall_1": scaling,
+        "max_scaling_penalty": MAX_SCALING_PENALTY,
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_server_throughput(report):
+    payload = run_bench()
+    report.table(
+        ["sessions", "wall_s", "sess/s", "rows/s", "p95 lat (ms)"],
+        [
+            [
+                lvl["sessions"], lvl["wall_s"], lvl["sessions_per_sec"],
+                int(lvl["rows_per_sec"]), lvl["watch_latency_ms_p95"],
+            ]
+            for lvl in payload["levels"]
+        ],
+        widths=[10, 10, 10, 12, 14],
+    )
+    report.line(f"wall(16)/wall(1): {payload['wall_16_over_wall_1']}x")
+    report.line(f"json: {RESULTS_PATH}")
+    assert payload["wall_16_over_wall_1"] < MAX_SCALING_PENALTY, payload
+
+
+def main() -> int:
+    payload = run_bench()
+    print(json.dumps(payload, indent=2))
+    ok = payload["wall_16_over_wall_1"] < MAX_SCALING_PENALTY
+    print(
+        f"{'PASS' if ok else 'FAIL'}: 16 sessions took "
+        f"{payload['wall_16_over_wall_1']}x one session's wall "
+        f"(need < {MAX_SCALING_PENALTY}x)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

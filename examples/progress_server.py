@@ -1,0 +1,158 @@
+"""The TCP progress service, end to end — and a smoke test for CI.
+
+Starts ``python -m repro serve`` as a subprocess on a free port, then
+drives it through the client library: submits three queries, watches
+each from two concurrent subscribers (asserting every stream is monotone
+non-decreasing), cancels one mid-flight, fetches the finished results,
+and shuts the server down cleanly.
+
+Exit code 0 means every assertion held; CI runs this script as the
+server smoke job.
+
+Run:  PYTHONPATH=src python examples/progress_server.py
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from repro.server import ProgressClient, ServiceError
+
+QUERIES = {
+    "join-customers": (
+        "SELECT c.name, o.totalprice FROM customer c"
+        " JOIN orders o ON c.custkey = o.custkey"
+    ),
+    "group-orders": "SELECT o.custkey, COUNT(*) AS n FROM orders o GROUP BY o.custkey",
+    # Self-join fan-out: enough work to still be running when we cancel it.
+    "victim": (
+        "SELECT a.orderkey, b.orderkey FROM orders a"
+        " JOIN orders b ON a.custkey = b.custkey"
+    ),
+}
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def wait_for_server(client: ProgressClient, deadline_s: float = 60.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while True:
+        try:
+            if client.ping():
+                return
+        except (OSError, ServiceError):
+            pass
+        if time.monotonic() >= deadline:
+            raise RuntimeError("server did not come up in time")
+        time.sleep(0.2)
+
+
+def watch_session(client: ProgressClient, session_id: str, failures: list) -> None:
+    last = -1.0
+    events = 0
+    for event in client.watch(session_id):
+        if event["event"] != "snapshot":
+            continue
+        events += 1
+        progress = event["session"]["progress"]
+        if progress < last:
+            failures.append(
+                f"{session_id}: progress regressed {last:.4f} -> {progress:.4f}"
+            )
+        last = progress
+    if events == 0:
+        failures.append(f"{session_id}: watcher saw no snapshots")
+
+
+def main() -> int:
+    port = free_port()
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "--sf", "0.002", "serve",
+            "--port", str(port), "--workers", "2", "--policy", "serw",
+            "--quantum", "64",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    client = ProgressClient("127.0.0.1", port, timeout=30.0)
+    failures: list[str] = []
+    try:
+        wait_for_server(client)
+        print(f"server up on port {port}")
+
+        sessions = {
+            name: client.submit(sql, name=name, quantum_rows=32)["session_id"]
+            for name, sql in QUERIES.items()
+        }
+        print(f"submitted {len(sessions)} queries: {sorted(sessions)}")
+
+        watchers = []
+        for sid in sessions.values():
+            for _ in range(2):
+                t = threading.Thread(
+                    target=watch_session, args=(client, sid, failures), daemon=True
+                )
+                t.start()
+                watchers.append(t)
+
+        client.cancel(sessions["victim"], reason="demo cancel")
+        finals = {
+            name: client.wait(sid, timeout=120.0) for name, sid in sessions.items()
+        }
+        for t in watchers:
+            t.join(timeout=30.0)
+            if t.is_alive():
+                failures.append("a watcher thread never terminated")
+
+        for name in ("join-customers", "group-orders"):
+            snap = finals[name]
+            print(f"  {name:16s} {snap['state']:9s} progress={snap['progress']:.3f} "
+                  f"rows={snap['row_count']}")
+            if snap["state"] != "finished" or snap["progress"] != 1.0:
+                failures.append(f"{name}: expected finished/1.0, got {snap}")
+            fetched = client.fetch(sessions[name])
+            if fetched["row_count"] != snap["row_count"]:
+                failures.append(f"{name}: fetch row_count mismatch")
+        victim = finals["victim"]
+        print(f"  {'victim':16s} {victim['state']:9s} ({victim['error']})")
+        if victim["state"] != "cancelled":
+            failures.append(f"victim: expected cancelled, got {victim['state']}")
+
+        workload = client.list_sessions()["workload"]
+        print(f"workload: progress={workload['progress']:.3f} states={workload['states']}")
+        if workload["states"].get("cancelled") != 1:
+            failures.append("workload view does not show the cancelled session")
+
+        client.shutdown_server()
+        server.wait(timeout=30.0)
+        if server.returncode != 0:
+            failures.append(f"server exited with {server.returncode}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+    if failures:
+        print("FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: monotone streams, clean cancel, clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ someone writes new code:
   the ``K_i`` of the paper's model; an operator that bumps or resets it
   corrupts ``C(Q)`` silently. Batch writes (``+= len(batch)``) belong to
   ``next_batch`` alone — never to a subclass's ``_next_batch`` drain.
+  The server package (``repro/server/``) is held to a stricter form:
+  server threads observe, they never drive — so calls to ``tick()`` /
+  ``tick_n()`` and writes to the bus ``count`` are also illegal there.
+  The only mutation path for estimator/counter state is
+  ``Operator.next``/``next_batch`` under the engine's pull loop.
 * **R002** — no ``random`` / ``numpy.random`` use outside
   ``repro/common/rng.py``. All randomness flows through the seeded factory
   so runs are reproducible.
@@ -38,7 +43,8 @@ __all__ = ["RULES", "Violation", "lint_paths", "main"]
 
 #: Rule id -> one-line description (kept in sync with docs/ANALYSIS.md).
 RULES: dict[str, str] = {
-    "R001": "tuples_emitted may only be written by Operator.next()/next_batch()",
+    "R001": "tuples_emitted may only be written by Operator.next()/next_batch(); "
+    "server modules may not drive tick()/tick_n() or write bus counters",
     "R002": "random/numpy.random are forbidden outside repro.common.rng",
     "R003": "bare `except:` clauses are forbidden",
     "R004": "Operator subclasses must declare op_name, children and output_schema",
@@ -153,10 +159,28 @@ class _Registry:
 # -- rules ---------------------------------------------------------------------
 
 
+#: Dotted path segment marking the server package (stricter R001 rules).
+_SERVER_PKG = ("repro", "server")
+
+#: Methods server code may never call: they advance the work counters.
+_COUNTER_DRIVERS = ("tick", "tick_n")
+
+
+def _in_server_package(path: str) -> bool:
+    parts = Path(path).parts
+    return any(
+        parts[i : i + len(_SERVER_PKG)] == _SERVER_PKG
+        for i in range(len(parts) - len(_SERVER_PKG) + 1)
+    )
+
+
 def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
     """Writes to ``tuples_emitted`` outside
-    ``Operator.next``/``Operator.next_batch``/``__init__``."""
+    ``Operator.next``/``Operator.next_batch``/``__init__``; in the server
+    package additionally any ``tick()``/``tick_n()`` call or write to a
+    ``count`` attribute (the TickBus counter)."""
     violations: list[Violation] = []
+    in_server = _in_server_package(path)
 
     def is_counter_write(stmt: ast.stmt) -> int | None:
         targets: list[ast.expr] = []
@@ -198,6 +222,47 @@ def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
                 visit(child, class_name, func_name)
 
     visit(tree, None, None)
+    if in_server:
+        violations.extend(_r001_server_checks(tree, path))
+    return violations
+
+
+def _r001_server_checks(tree: ast.Module, path: str) -> list[Violation]:
+    """Server threads observe execution, they never drive it: no
+    ``tick``/``tick_n`` calls, no writes to a ``count`` attribute."""
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _COUNTER_DRIVERS
+        ):
+            violations.append(
+                Violation(
+                    "R001",
+                    path,
+                    node.lineno,
+                    f"call to {node.func.attr}() in server code; only "
+                    "Operator.next()/next_batch() under the engine's pull "
+                    "loop may advance the work counters",
+                )
+            )
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr == "count":
+                violations.append(
+                    Violation(
+                        "R001",
+                        path,
+                        node.lineno,
+                        "write to a .count attribute in server code; the "
+                        "TickBus counter belongs to the execution side",
+                    )
+                )
     return violations
 
 

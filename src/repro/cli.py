@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands, all runnable offline against generated data::
+Local subcommands, all runnable offline against generated data::
 
     python -m repro demo                      # the Figure-8 style showcase
     python -m repro query "SELECT ..."        # run SQL with a progress bar
@@ -11,6 +11,17 @@ Four subcommands, all runnable offline against generated data::
 the statement through :mod:`repro.sql` with the paper's estimators attached,
 and redraws a progress bar from inside the executor's tick bus — the
 end-user experience the paper is about.
+
+Service subcommands (the :mod:`repro.server` subsystem)::
+
+    python -m repro serve                     # progress service over TCP
+    python -m repro submit "SELECT ..."       # run a query on the service
+    python -m repro watch [SESSION_ID]        # live progress bars for sessions
+    python -m repro cancel SESSION_ID         # cooperative cancellation
+
+``serve`` owns the generated catalog and time-slices every submitted query
+over a worker pool; ``watch`` streams progress snapshots for one session or
+the whole workload. See ``docs/SERVER.md``.
 """
 
 from __future__ import annotations
@@ -213,6 +224,153 @@ def cmd_bench_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.service import ProgressService
+
+    catalog = _build_catalog(args)
+    service = ProgressService(
+        catalog,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        policy=args.policy,
+        quantum_rows=args.quantum,
+        tick_interval=args.tick,
+        row_cap=args.row_cap,
+        max_pending=args.max_pending,
+        sample_fraction=args.sample,
+        default_timeout_s=args.timeout,
+    )
+    host, port = service.start()
+    print(
+        f"repro progress service listening on {host}:{port} "
+        f"({args.workers} workers, policy={args.policy})",
+        file=sys.stderr,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down...", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.server.client import ProgressClient
+
+    return ProgressClient(args.host, args.port)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server.client import ServiceError
+
+    client = _client(args)
+    try:
+        session = client.submit(
+            args.sql, mode=args.mode, name=args.name, timeout_s=args.timeout_s
+        )
+        sid = session["session_id"]
+        print(sid)
+        if not args.wait:
+            return 0
+        final = client.wait(sid, timeout=args.wait_timeout)
+        print(
+            f"{sid} {final['state']}: {final['row_count']:,} rows "
+            f"in {final['elapsed_s']:.2f}s",
+            file=sys.stderr,
+        )
+        if final["state"] == "finished" and args.fetch:
+            result = client.fetch(sid)
+            print("\t".join(result["columns"]))
+            for row in result["rows"][: args.max_rows]:
+                print("\t".join(str(v) for v in row))
+            if result["truncated"] or len(result["rows"]) > args.max_rows:
+                shown = min(len(result["rows"]), args.max_rows)
+                print(f"... ({final['row_count'] - shown} more rows)")
+        return 0 if final["state"] == "finished" else 1
+    except ServiceError as exc:
+        print(f"submit failed — {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.server.client import ServiceError
+
+    try:
+        session = _client(args).cancel(args.session_id)
+    except ServiceError as exc:
+        print(f"cancel failed — {exc}", file=sys.stderr)
+        return 1
+    print(f"{session['session_id']} -> {session['state']}", file=sys.stderr)
+    return 0
+
+
+def _render_watch_frame(sessions: dict, workload: dict | None, width: int = 32) -> str:
+    lines = []
+    for sid in sorted(sessions):
+        snap = sessions[sid]
+        bar = _progress_bar(snap["progress"], snap["work_total_estimate"], width)
+        label = snap["name"] if snap["name"] != sid else sid
+        lines.append(f"{label:>16.16} {bar} {snap['state']}")
+    if workload is not None:
+        frac = workload["progress"]
+        filled = int(min(max(frac, 0.0), 1.0) * width)
+        lines.append(
+            f"{'WORKLOAD':>16} [{'#' * filled}{'-' * (width - filled)}] {frac:6.1%}  "
+            f"{workload['states']}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.server.client import ServiceError
+
+    client = _client(args)
+    sessions: dict = {}
+    workload: dict | None = None
+    live = sys.stderr.isatty() and not args.plain
+    drawn_lines = 0
+
+    def draw() -> None:
+        nonlocal drawn_lines
+        frame = _render_watch_frame(sessions, workload)
+        if not frame:
+            return
+        if live and drawn_lines:
+            sys.stderr.write(f"\x1b[{drawn_lines}F\x1b[J")
+        sys.stderr.write(frame + "\n")
+        sys.stderr.flush()
+        drawn_lines = frame.count("\n") + 1
+
+    try:
+        for event in client.watch(args.session_id, until_idle=args.until_idle):
+            kind = event.get("event")
+            if kind == "snapshot":
+                snap = event["session"]
+                sessions[snap["session_id"]] = snap
+            elif kind == "workload":
+                workload = event["workload"]
+            elif kind == "end":
+                draw()
+                print(f"watch ended: {event.get('reason')}", file=sys.stderr)
+                return 0
+            if live:
+                draw()
+            elif kind == "snapshot":
+                snap = event["session"]
+                sys.stderr.write(
+                    f"{snap['session_id']} {snap['progress']:.3f} {snap['state']}\n"
+                )
+        return 0
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
+        return 0
+    except ServiceError as exc:
+        print(f"watch failed — {exc}", file=sys.stderr)
+        return 1
+
+
 def build_arg_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,6 +421,59 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     b = sub.add_parser("bench-overhead", help="quick estimation-overhead check")
     b.set_defaults(func=cmd_bench_overhead)
+
+    def add_endpoint(p) -> None:
+        p.add_argument("--host", default="127.0.0.1", help="service host")
+        p.add_argument("--port", type=int, default=7661, help="service port")
+
+    s = sub.add_parser("serve", help="run the multi-session progress service")
+    add_endpoint(s)
+    s.add_argument("--workers", type=int, default=4, help="scheduler worker threads")
+    s.add_argument(
+        "--policy",
+        choices=("fair", "serw"),
+        default="fair",
+        help="fair round-robin or shortest-expected-remaining-work",
+    )
+    s.add_argument("--quantum", type=int, default=512, help="rows per scheduling quantum")
+    s.add_argument("--row-cap", type=int, default=10_000, help="result spool cap per session")
+    s.add_argument("--max-pending", type=int, default=64, help="admission-control bound")
+    s.add_argument(
+        "--timeout", type=float, default=None, help="default per-session timeout (s)"
+    )
+    s.set_defaults(func=cmd_serve)
+
+    sm = sub.add_parser("submit", help="submit SQL to a running service")
+    add_endpoint(sm)
+    sm.add_argument("sql", help="the SELECT statement")
+    sm.add_argument("--mode", choices=("once", "dne", "byte"), default="once")
+    sm.add_argument("--name", default=None, help="session display name")
+    sm.add_argument(
+        "--timeout-s", type=float, default=None, help="per-session timeout (s)"
+    )
+    sm.add_argument("--wait", action="store_true", help="block until the query ends")
+    sm.add_argument(
+        "--wait-timeout", type=float, default=300.0, help="--wait poll deadline (s)"
+    )
+    sm.add_argument("--fetch", action="store_true", help="with --wait: print result rows")
+    sm.add_argument("--max-rows", type=int, default=20)
+    sm.set_defaults(func=cmd_submit)
+
+    w = sub.add_parser("watch", help="stream live progress bars from the service")
+    add_endpoint(w)
+    w.add_argument("session_id", nargs="?", default=None, help="one session (default: all)")
+    w.add_argument(
+        "--until-idle",
+        action="store_true",
+        help="exit once every session is terminal (aggregate watch only)",
+    )
+    w.add_argument("--plain", action="store_true", help="line-per-event output, no redraw")
+    w.set_defaults(func=cmd_watch)
+
+    c = sub.add_parser("cancel", help="cooperatively cancel a session")
+    add_endpoint(c)
+    c.add_argument("session_id")
+    c.set_defaults(func=cmd_cancel)
     return parser
 
 

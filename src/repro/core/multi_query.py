@@ -4,14 +4,19 @@ Luo et al. extended single-query progress indication to concurrently
 running queries ([19] in the paper's bibliography; mentioned in Section 2).
 This module provides the equivalent for this framework:
 
-* :class:`InterleavedExecutor` — a cooperative round-robin driver that
-  advances several plans a quantum of output rows at a time (the
-  single-threaded stand-in for a multi-backend DBMS, deterministic and
-  fair);
+* :class:`InterleavedExecutor` — a cooperative driver that advances
+  several plans a quantum of output rows at a time. Since the server
+  subsystem landed it is a thin facade over
+  :class:`repro.server.scheduler.Scheduler`: with the default single
+  worker it reproduces the classic deterministic round-robin, and with
+  ``workers > 1`` the same workload runs genuinely concurrently;
 * :class:`MultiQueryProgressMonitor` — per-query monitors (any estimator
   mode each) plus aggregate progress under the gnm measure:
   ``Σ_q C(Q_q) / Σ_q T̂(Q_q)`` — total getnext calls made over total
-  expected across the whole workload.
+  expected across the whole workload. Finished queries are pinned: their
+  exact ``T(Q)`` replaces the (possibly wrong) estimate in both the
+  per-query and the aggregate view, so workload progress cannot regress
+  when a query completes.
 
 A query in a long blocking phase still reports progress, because each
 query's tick bus samples from inside its operators; the interleaver's
@@ -20,6 +25,7 @@ quantum only bounds how much *output* a query produces per turn.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.progress import ProgressMonitor, ProgressSnapshot
@@ -87,10 +93,21 @@ class MultiQueryProgressMonitor:
         work_total = 0.0
         per_query: dict[str, float] = {}
         for handle in self.queries:
-            snap: ProgressSnapshot = handle.monitor.snapshot()
-            work_done += snap.work_done
-            work_total += snap.work_total_estimate
-            per_query[handle.name] = snap.progress
+            if handle.finished:
+                # C(Q) is now the exact T(Q). An estimator that undershot
+                # T̂(Q) would leave the query <100% in the workload view
+                # (and an overshoot would inflate the denominator forever);
+                # clamping both contributions to the final observed work
+                # pins the query to 1.0 and keeps the aggregate monotone.
+                done = total = handle.monitor.true_total()
+                per_query[handle.name] = 1.0
+            else:
+                snap: ProgressSnapshot = handle.monitor.snapshot()
+                done = snap.work_done
+                total = max(snap.work_total_estimate, snap.work_done)
+                per_query[handle.name] = snap.progress
+            work_done += done
+            work_total += total
         return WorkloadSnapshot(
             work_done=work_done,
             work_total_estimate=work_total,
@@ -99,12 +116,17 @@ class MultiQueryProgressMonitor:
 
 
 class InterleavedExecutor:
-    """Cooperative round-robin execution of several plans.
+    """Cooperative execution of several plans on the session scheduler.
 
-    Each turn pulls at most ``quantum_rows`` output rows from one query's
-    root; queries are rotated until all are exhausted. ``on_turn`` (if
-    given) is invoked after every turn with the monitor — the natural place
-    to refresh a workload dashboard.
+    Each turn drains at most ``quantum_rows`` output rows from one query's
+    root in a single ``next_batch`` call; queries are rotated fairly until
+    all are exhausted, and finished queries leave the ready queue — they
+    take no further (zero-work) turns. ``on_turn`` (if given) is invoked
+    after every turn with the monitor — the natural place to refresh a
+    workload dashboard. With the default ``workers=1`` the interleave is
+    the classic deterministic round-robin; higher values run the same
+    workload on a thread pool (``on_turn`` then fires from worker
+    threads, serialized by an internal lock).
     """
 
     def __init__(
@@ -112,39 +134,58 @@ class InterleavedExecutor:
         monitor: MultiQueryProgressMonitor,
         quantum_rows: int = 256,
         on_turn=None,
+        workers: int = 1,
     ):
         if quantum_rows < 1:
             raise ValueError(f"quantum_rows must be >= 1, got {quantum_rows}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.monitor = monitor
         self.quantum_rows = quantum_rows
         self.on_turn = on_turn
+        self.workers = workers
         self.turns_taken = 0
 
     def run(self) -> dict[str, int]:
         """Drive every query to completion; returns per-query row counts."""
-        handles = list(self.monitor.queries)
+        from repro.server.scheduler import Scheduler
+        from repro.server.session import QuerySession
+
+        handles = [h for h in self.monitor.queries if not h.finished]
         for handle in handles:
             validate_plan(handle.plan)
-            handle.plan.attach_bus(handle.bus)
-            handle.plan.open()
-        active = [h for h in handles if not h.finished]
+        sessions: dict[str, QueryHandle] = {}
+        turn_lock = threading.Lock()
+
+        def on_step(session: QuerySession) -> None:
+            handle = sessions[session.session_id]
+            with turn_lock:
+                handle.row_count = session.row_count
+                if session.finished:
+                    handle.finished = True
+                self.turns_taken += 1
+                if self.on_turn is not None:
+                    self.on_turn(self.monitor)
+
+        scheduler = Scheduler(
+            workers=self.workers,
+            policy="fair",
+            max_pending=max(len(handles), 1),
+            on_step=on_step,
+        )
         try:
-            while active:
-                for handle in list(active):
-                    produced = 0
-                    while produced < self.quantum_rows:
-                        row = handle.plan.next()
-                        if row is None:
-                            handle.finished = True
-                            active.remove(handle)
-                            break
-                        handle.row_count += 1
-                        handle.bus.tick()
-                        produced += 1
-                    self.turns_taken += 1
-                    if self.on_turn is not None:
-                        self.on_turn(self.monitor)
-        finally:
             for handle in handles:
-                handle.plan.close()
-        return {h.name: h.row_count for h in handles}
+                session = QuerySession(
+                    handle.plan,
+                    name=handle.name,
+                    monitor=handle.monitor,
+                    bus=handle.bus,
+                    quantum_rows=self.quantum_rows,
+                    row_cap=0,
+                )
+                sessions[session.session_id] = handle
+                scheduler.submit(session)
+            scheduler.run_until_complete()
+        finally:
+            scheduler.shutdown(wait=True)
+        return {h.name: h.row_count for h in self.monitor.queries}

@@ -24,6 +24,7 @@ the now-known true total, producing the paper's ratio-error curves
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -106,6 +107,13 @@ class ProgressMonitor:
         )
         self.snapshots: list[ProgressSnapshot] = []
         self._started = time.perf_counter()
+        # Sampling lock: shared with the execution driver through the bus
+        # (PlanCursor/ExecutionEngine hold ``bus.lock`` across each pull),
+        # so snapshot() is safe to call from a non-executing thread — it
+        # serializes against both concurrent snapshots and the estimator
+        # mutations that happen inside pulls. Reentrant, because bus
+        # callbacks snapshot from inside a pull that already holds it.
+        self._lock: threading.RLock = bus.lock if bus is not None else threading.RLock()
         if bus is not None:
             bus.subscribe(self._on_tick)
 
@@ -115,7 +123,17 @@ class ProgressMonitor:
         self.snapshots.append(self.snapshot(count))
 
     def snapshot(self, tick: int = -1) -> ProgressSnapshot:
-        """Record current (C(Q), T̂(Q)) and per-pipeline states."""
+        """Record current (C(Q), T̂(Q)) and per-pipeline states.
+
+        Thread-safe: may be called from a thread that is not executing the
+        plan. Successive snapshots (from any mix of threads) observe
+        non-decreasing ``work_done``, because the sampling lock serializes
+        them and every ``tuples_emitted`` counter is monotone.
+        """
+        with self._lock:
+            return self._snapshot_locked(tick)
+
+    def _snapshot_locked(self, tick: int) -> ProgressSnapshot:
         self.refresh_bounds()
         work_done = 0.0
         work_total = 0.0

@@ -11,14 +11,16 @@ like a wrapper for all operators".
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.common.errors import ExecutorError
 from repro.executor.operators.base import Operator
 from repro.executor.plan import validate_plan
 
-__all__ = ["ExecutionEngine", "ExecutionResult", "TickBus"]
+__all__ = ["ExecutionEngine", "ExecutionResult", "PlanCursor", "TickBus"]
 
 
 class TickBus:
@@ -28,16 +30,26 @@ class TickBus:
     consumed in a blocking phase, an output row emitted). Every
     ``interval`` ticks, the bus invokes its callbacks — cheap enough to run
     per-row, yet frequent enough for smooth progress curves.
+
+    The bus also carries the plan's sampling lock (:attr:`lock`): the
+    execution driver holds it while pulling the plan, and any thread that
+    wants a consistent read of executor/estimator state (the progress
+    monitor's :meth:`~repro.core.progress.ProgressMonitor.snapshot`)
+    acquires it first. The lock is reentrant, so callbacks fired from
+    inside a pull — which already holds the lock — may snapshot freely.
+    Subscribe/unsubscribe are safe from any thread; callbacks are iterated
+    over an immutable copy so a watcher detaching mid-fire is harmless.
     """
 
-    __slots__ = ("count", "interval", "callbacks")
+    __slots__ = ("count", "interval", "callbacks", "lock")
 
     def __init__(self, interval: int = 1000):
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
         self.count = 0
         self.interval = interval
-        self.callbacks: list[Callable[[int], None]] = []
+        self.callbacks: tuple[Callable[[int], None], ...] = ()
+        self.lock = threading.RLock()
 
     def tick(self) -> None:
         self.count += 1
@@ -62,7 +74,97 @@ class TickBus:
                 cb(self.count)
 
     def subscribe(self, callback: Callable[[int], None]) -> None:
-        self.callbacks.append(callback)
+        with self.lock:
+            self.callbacks = (*self.callbacks, callback)
+
+    def unsubscribe(self, callback: Callable[[int], None]) -> None:
+        """Detach ``callback``; unknown callbacks are ignored.
+
+        Watchers that come and go (a dropped ``watch`` connection, a
+        finished dashboard) must detach or their callbacks leak — the bus
+        would keep invoking them for the lifetime of the plan.
+        """
+        with self.lock:
+            self.callbacks = tuple(
+                cb for cb in self.callbacks if cb is not callback
+            )
+
+
+class PlanCursor:
+    """The resumable pull loop: open once, fetch batches, close.
+
+    This is the single place the repository drains a plan from.
+    :class:`ExecutionEngine` wraps it for run-to-completion semantics, and
+    the server's :class:`~repro.server.session.QuerySession` steps it one
+    quantum at a time, suspending between quanta — which is what makes a
+    query *schedulable*. Each :meth:`fetch` holds the bus's sampling lock
+    (when a bus is attached) for the duration of the pull, so concurrent
+    readers never observe half-updated estimator state.
+
+    Parameters
+    ----------
+    root:
+        Plan root. Validated (node ids assigned; ``validate_plan`` is
+        idempotent, so wrapping an engine-validated root is fine).
+    bus:
+        Optional tick bus; attached to the subtree and ticked once per
+        fetched batch via :meth:`TickBus.tick_n`.
+    """
+
+    def __init__(self, root: Operator, bus: TickBus | None = None):
+        self.root = root
+        self.bus = bus
+        self.operators = validate_plan(root)
+        if bus is not None:
+            root.attach_bus(bus)
+        self.rows_pulled = 0
+        self._opened = False
+        self._closed = False
+
+    @property
+    def opened(self) -> bool:
+        return self._opened
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the root has produced its last row (sticky)."""
+        return self.root.is_exhausted
+
+    def open(self) -> None:
+        if self._opened:
+            raise ExecutorError("PlanCursor.open() called twice")
+        self._opened = True
+        self.root.open()
+
+    def fetch(self, max_rows: int) -> list[tuple]:
+        """Pull up to ``max_rows`` rows; ``[]`` means the plan is exhausted.
+
+        A short non-empty batch does *not* imply exhaustion (same contract
+        as :meth:`Operator.next_batch`). The pull — including any blocking
+        phase it triggers — runs under the bus lock, so it is safe against
+        concurrent :meth:`ProgressMonitor.snapshot` calls.
+        """
+        if not self._opened or self._closed:
+            raise ExecutorError("PlanCursor.fetch() outside open/close window")
+        bus = self.bus
+        if bus is not None:
+            with bus.lock:
+                batch = self.root.next_batch(max_rows)
+                if batch:
+                    bus.tick_n(len(batch))
+        else:
+            batch = self.root.next_batch(max_rows)
+        self.rows_pulled += len(batch)
+        return batch
+
+    def close(self) -> None:
+        if self._opened and not self._closed:
+            self._closed = True
+            self.root.close()
 
 
 @dataclass
@@ -136,39 +238,53 @@ class ExecutionEngine:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         rows: list[tuple] | None = [] if self.collect_rows else None
         bus = self.bus
+        cursor = PlanCursor(self.root, bus=bus)
         started = time.perf_counter()
-        self.root.open()
+        cursor.open()
         try:
             count = 0
             if batch_size is None:
                 root_next = self.root.next
-                while True:
-                    row = root_next()
-                    if row is None:
-                        break
-                    count += 1
-                    if bus is not None:
-                        bus.tick()
-                    if rows is not None:
-                        rows.append(row)
-                    if row_callback is not None:
-                        row_callback(row)
+                if bus is None:
+                    while True:
+                        row = root_next()
+                        if row is None:
+                            break
+                        count += 1
+                        if rows is not None:
+                            rows.append(row)
+                        if row_callback is not None:
+                            row_callback(row)
+                else:
+                    # Pull + tick under the bus's sampling lock so a
+                    # concurrent ProgressMonitor.snapshot() from another
+                    # thread never sees half-updated estimator state.
+                    lock = bus.lock
+                    while True:
+                        with lock:
+                            row = root_next()
+                            if row is not None:
+                                bus.tick()
+                        if row is None:
+                            break
+                        count += 1
+                        if rows is not None:
+                            rows.append(row)
+                        if row_callback is not None:
+                            row_callback(row)
             else:
-                root_next_batch = self.root.next_batch
                 while True:
-                    batch = root_next_batch(batch_size)
+                    batch = cursor.fetch(batch_size)
                     if not batch:
                         break
                     count += len(batch)
-                    if bus is not None:
-                        bus.tick_n(len(batch))
                     if rows is not None:
                         rows.extend(batch)
                     if row_callback is not None:
                         for row in batch:
                             row_callback(row)
         finally:
-            self.root.close()
+            cursor.close()
         elapsed = time.perf_counter() - started
         counts = {
             op.node_id: op.tuples_emitted

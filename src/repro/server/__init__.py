@@ -1,0 +1,46 @@
+"""The serving layer: a concurrent query-progress service.
+
+The paper's framework estimates progress for one query inside one
+executor; this package is where those estimates meet *clients*: many
+queries time-sliced over a worker pool, each one observable while it
+runs, cancellable, and streamable to any number of watchers.
+
+* :mod:`~repro.server.session` — resumable, cancellable query sessions;
+* :mod:`~repro.server.scheduler` — thread-pool scheduling (round-robin or
+  shortest-expected-remaining-work, driven by the live estimates);
+* :mod:`~repro.server.registry` / :mod:`~repro.server.events` — snapshot
+  registry and pub/sub fan-out for watchers;
+* :mod:`~repro.server.protocol` / :mod:`~repro.server.service` /
+  :mod:`~repro.server.client` — a JSON-lines TCP protocol, the stdlib
+  ``socketserver`` service, and the matching client library.
+
+See ``docs/SERVER.md`` for the architecture and protocol reference.
+"""
+
+from repro.server.client import ProgressClient, ServiceError
+from repro.server.events import EventBus, Subscription
+from repro.server.registry import SessionRegistry, WorkloadView
+from repro.server.scheduler import AdmissionError, Scheduler
+from repro.server.service import ProgressService
+from repro.server.session import (
+    QuerySession,
+    SessionSnapshot,
+    SessionState,
+    TERMINAL_STATES,
+)
+
+__all__ = [
+    "AdmissionError",
+    "EventBus",
+    "ProgressClient",
+    "ProgressService",
+    "QuerySession",
+    "Scheduler",
+    "ServiceError",
+    "SessionRegistry",
+    "SessionSnapshot",
+    "SessionState",
+    "Subscription",
+    "TERMINAL_STATES",
+    "WorkloadView",
+]

@@ -1,0 +1,157 @@
+"""Client library for the progress service.
+
+Thin and stdlib-only, mirroring the protocol one method per op. Simple
+request/response ops open a short-lived connection each (no client-side
+locking needed, any thread may call any method); :meth:`watch` keeps its
+connection open and yields decoded events until the stream ends.
+
+    client = ProgressClient("127.0.0.1", 7661)
+    session = client.submit("SELECT ... ")
+    for event in client.watch(session["session_id"]):
+        print(event["session"]["progress"])
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Iterator
+
+from repro.server.protocol import decode, encode, read_message
+
+__all__ = ["ProgressClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``{"ok": false, ...}``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+def _raise_if_error(response: dict) -> dict:
+    if not response.get("ok", False):
+        error = response.get("error") or {}
+        raise ServiceError(
+            str(error.get("code", "unknown")), str(error.get("message", response))
+        )
+    return response
+
+
+class ProgressClient:
+    """Speaks the JSON-lines protocol to one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7661, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _roundtrip(self, request: dict) -> dict:
+        with self._connect() as conn:
+            conn.sendall(encode(request))
+            with conn.makefile("rb") as stream:
+                response = read_message(stream)
+        if response is None:
+            raise ServiceError("closed", "connection closed before a response")
+        return _raise_if_error(response)
+
+    # -- operations -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def submit(
+        self,
+        sql: str,
+        mode: str | None = None,
+        name: str | None = None,
+        timeout_s: float | None = None,
+        quantum_rows: int | None = None,
+    ) -> dict:
+        """Submit SQL; returns the session's snapshot (incl. ``session_id``)."""
+        request: dict = {"op": "submit", "sql": sql}
+        if mode is not None:
+            request["mode"] = mode
+        if name is not None:
+            request["name"] = name
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        if quantum_rows is not None:
+            request["quantum_rows"] = quantum_rows
+        return self._roundtrip(request)["session"]
+
+    def status(self, session_id: str) -> dict:
+        return self._roundtrip({"op": "status", "session_id": session_id})["session"]
+
+    def list_sessions(self) -> dict:
+        """``{"sessions": [...], "workload": {...}}``."""
+        response = self._roundtrip({"op": "list"})
+        return {"sessions": response["sessions"], "workload": response["workload"]}
+
+    def cancel(self, session_id: str, reason: str | None = None) -> dict:
+        request: dict = {"op": "cancel", "session_id": session_id}
+        if reason is not None:
+            request["reason"] = reason
+        return self._roundtrip(request)["session"]
+
+    def fetch(self, session_id: str) -> dict:
+        """``{"columns": [...], "rows": [...], "truncated": bool, ...}``."""
+        response = self._roundtrip({"op": "fetch", "session_id": session_id})
+        response.pop("ok", None)
+        return response
+
+    def shutdown_server(self) -> None:
+        self._roundtrip({"op": "shutdown"})
+
+    def watch(
+        self, session_id: str | None = None, until_idle: bool = False
+    ) -> Iterator[dict]:
+        """Stream watch events until the server ends the stream.
+
+        Yields every event line including the final ``end`` event. Closing
+        the generator closes the connection, which detaches the server-side
+        subscription.
+        """
+        request: dict = {"op": "watch", "until_idle": until_idle}
+        if session_id is not None:
+            request["session_id"] = session_id
+        conn = self._connect()
+        try:
+            conn.sendall(encode(request))
+            with conn.makefile("rb") as stream:
+                while True:
+                    line = stream.readline()
+                    if not line:
+                        return
+                    event = decode(line)
+                    if not event.get("ok", True):
+                        _raise_if_error(event)
+                    yield event
+                    if event.get("event") == "end":
+                        return
+        finally:
+            conn.close()
+
+    def wait(
+        self, session_id: str, timeout: float = 120.0, poll_s: float = 0.05
+    ) -> dict:
+        """Poll ``status`` until the session is terminal; returns the final
+        snapshot. Raises :class:`TimeoutError` when ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snap = self.status(session_id)
+            if snap["state"] in ("finished", "cancelled", "failed"):
+                return snap
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"session {session_id} still {snap['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)

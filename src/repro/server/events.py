@@ -1,0 +1,130 @@
+"""Pub/sub event bus: N watchers over one stream of progress events.
+
+The service publishes one small dict per session step / state transition;
+watchers (``watch`` connections, dashboards, tests) each get their own
+bounded mailbox. Design constraints, in order:
+
+* **publishers never block** — a slow or stalled watcher must not be able
+  to hold up a scheduler worker, so mailboxes are bounded deques that drop
+  their *oldest* event on overflow (progress events are snapshots; the
+  latest one supersedes the rest, so dropping old ones loses nothing a
+  watcher can act on). ``Subscription.dropped`` counts the losses.
+* **detach is first-class** — a watcher whose connection dies unsubscribes
+  and is immediately forgotten; the bus holds no reference afterwards
+  (the event-layer twin of :meth:`TickBus.unsubscribe`).
+* **no executor coupling** — events are plain dicts produced *outside* the
+  execution lock; the bus never touches operator or estimator state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["EventBus", "Subscription"]
+
+
+class Subscription:
+    """One watcher's bounded mailbox of events.
+
+    Iterate it (``for event in sub:``) or call :meth:`get`. Iteration ends
+    when the subscription is closed (by :meth:`close`, or the bus shutting
+    down) and the mailbox has drained.
+    """
+
+    def __init__(self, bus: "EventBus", maxlen: int):
+        self._bus = bus
+        self._cond = threading.Condition()
+        self._events: deque[dict] = deque(maxlen=maxlen)
+        self._closed = False
+        self.dropped = 0
+
+    def _push(self, event: dict) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            if len(self._events) == self._events.maxlen:
+                self.dropped += 1
+            self._events.append(event)
+            self._cond.notify()
+
+    def _mark_closed(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def get(self, timeout: float | None = None) -> dict | None:
+        """Next event; ``None`` once closed and drained.
+
+        Raises :class:`TimeoutError` if ``timeout`` elapses with the
+        subscription still live but empty.
+        """
+        with self._cond:
+            got = self._cond.wait_for(
+                lambda: self._events or self._closed, timeout
+            )
+            if self._events:
+                return self._events.popleft()
+            if self._closed:
+                return None
+            if not got:
+                raise TimeoutError("no event within timeout")
+            return None  # pragma: no cover - unreachable
+
+    def __iter__(self):
+        while True:
+            event = self.get()
+            if event is None:
+                return
+            yield event
+
+    def close(self) -> None:
+        """Detach from the bus and wake any blocked :meth:`get`."""
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Fan-out of progress events to any number of subscriptions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: tuple[Subscription, ...] = ()
+        self._closed = False
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    def subscribe(self, maxlen: int = 256) -> Subscription:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        sub = Subscription(self, maxlen)
+        with self._lock:
+            if self._closed:
+                sub._mark_closed()
+            else:
+                self._subs = (*self._subs, sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach ``sub``; unknown subscriptions are ignored."""
+        with self._lock:
+            self._subs = tuple(s for s in self._subs if s is not sub)
+        sub._mark_closed()
+
+    def publish(self, event: dict) -> None:
+        """Deliver ``event`` to every live subscription without blocking."""
+        for sub in self._subs:
+            sub._push(event)
+
+    def close(self) -> None:
+        """Shut the bus down; all subscriptions drain and then end."""
+        with self._lock:
+            subs, self._subs = self._subs, ()
+            self._closed = True
+        for sub in subs:
+            sub._mark_closed()

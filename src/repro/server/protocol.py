@@ -1,0 +1,102 @@
+"""The JSON-lines wire protocol.
+
+One UTF-8 JSON object per ``\\n``-terminated line, both directions. A
+connection carries any number of requests in sequence; ``watch`` turns
+the response side into a stream of event lines that ends with an ``end``
+event, after which the connection is ready for the next request.
+
+Requests::
+
+    {"op": "submit", "sql": "...", "mode": "once", "name": "...",
+     "timeout_s": 30.0}                      -> {"ok": true, "session": {...}}
+    {"op": "status", "session_id": "s0001"}  -> {"ok": true, "session": {...}}
+    {"op": "list"}                           -> {"ok": true, "sessions": [...],
+                                                 "workload": {...}}
+    {"op": "watch", "session_id": "s0001"}   -> stream (see below)
+    {"op": "watch", "until_idle": true}      -> aggregate stream
+    {"op": "cancel", "session_id": "s0001"}  -> {"ok": true, "session": {...}}
+    {"op": "fetch", "session_id": "s0001"}   -> {"ok": true, "columns": [...],
+                                                 "rows": [...], "truncated": false}
+    {"op": "ping"}                           -> {"ok": true, "pong": true}
+    {"op": "shutdown"}                       -> {"ok": true} (server then stops)
+
+Stream lines are ``{"event": "snapshot", "session": {...}}``,
+``{"event": "workload", "workload": {...}}`` and finally
+``{"event": "end", "reason": "..."}``. Errors are
+``{"ok": false, "error": {"code": "...", "message": "..."}}``; unknown
+ops, oversized lines and malformed JSON all produce an error response
+rather than a dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ProtocolError",
+    "decode",
+    "encode",
+    "error_response",
+    "ok_response",
+    "read_message",
+    "write_message",
+]
+
+#: Upper bound on one wire line; longer lines are a protocol error.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Every operation the service understands.
+OPS = frozenset(
+    {"submit", "status", "watch", "cancel", "list", "fetch", "ping", "shutdown"}
+)
+
+
+class ProtocolError(ValueError):
+    """Malformed frame: not JSON, not an object, or over the line limit."""
+
+
+def encode(message: dict) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":"), default=str).encode() + b"\n"
+
+
+def decode(line: bytes | str) -> dict:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def read_message(stream: IO[bytes]) -> dict | None:
+    """Read one frame from a binary stream; ``None`` on clean EOF."""
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    if not line.strip():
+        return read_message(stream)
+    return decode(line)
+
+
+def write_message(stream: IO[bytes], message: dict) -> None:
+    stream.write(encode(message))
+    stream.flush()
+
+
+def ok_response(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+def error_response(code: str, message: str) -> dict:
+    return {"ok": False, "error": {"code": code, "message": message}}

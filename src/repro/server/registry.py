@@ -1,0 +1,132 @@
+"""Thread-safe session registry and workload-level aggregation.
+
+The registry is the service's source of truth for "what queries exist",
+and the one place aggregate (workload) progress is computed. Aggregation
+uses the gnm measure over published per-session snapshots —
+``Σ_q C(Q_q) / Σ_q T̂(Q_q)`` — with the terminal-session rule of
+:class:`~repro.core.multi_query.MultiQueryProgressMonitor`: a session
+that reached a terminal state contributes its *final observed* work for
+both numerator and denominator, so a finished query whose estimator
+undershot ``T̂(Q)`` cannot drag the workload below 1.0, and aggregate
+progress never regresses when a query completes or is cancelled.
+
+Reads never sample live executor state: they consume the immutable
+:class:`~repro.server.session.SessionSnapshot` each session last
+published, which is what makes ``list``/``status`` safe at any request
+rate while 16 workers are mid-quantum.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.server.session import SessionSnapshot, SessionState, QuerySession
+
+__all__ = ["SessionRegistry", "WorkloadView"]
+
+_TERMINAL_VALUES = frozenset(
+    {
+        SessionState.FINISHED.value,
+        SessionState.CANCELLED.value,
+        SessionState.FAILED.value,
+    }
+)
+
+
+@dataclass(frozen=True)
+class WorkloadView:
+    """Aggregate progress across every registered session."""
+
+    work_done: float
+    work_total_estimate: float
+    sessions: int
+    states: dict[str, int] = field(default_factory=dict)
+    per_session: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def progress(self) -> float:
+        if self.work_total_estimate <= 0:
+            return 0.0
+        return min(self.work_done / self.work_total_estimate, 1.0)
+
+    @property
+    def idle(self) -> bool:
+        """True when every session is terminal (or none exist)."""
+        active = sum(
+            count
+            for state, count in self.states.items()
+            if state in (SessionState.PENDING.value, SessionState.RUNNING.value)
+        )
+        return active == 0
+
+    def to_wire(self) -> dict:
+        return {
+            "progress": round(self.progress, 6),
+            "work_done": self.work_done,
+            "work_total_estimate": self.work_total_estimate,
+            "sessions": self.sessions,
+            "states": dict(self.states),
+            "per_session": {k: round(v, 6) for k, v in self.per_session.items()},
+            "idle": self.idle,
+        }
+
+
+class SessionRegistry:
+    """Registry of every session the service has accepted."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: dict[str, QuerySession] = {}
+
+    def add(self, session: QuerySession) -> QuerySession:
+        with self._lock:
+            if session.session_id in self._sessions:
+                raise ValueError(f"duplicate session id {session.session_id!r}")
+            self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> QuerySession | None:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def remove(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def sessions(self) -> list[QuerySession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def snapshots(self) -> list[SessionSnapshot]:
+        return [session.snapshot() for session in self.sessions()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def workload(self) -> WorkloadView:
+        """Aggregate gnm progress over all sessions (see module docstring)."""
+        work_done = 0.0
+        work_total = 0.0
+        states: dict[str, int] = {}
+        per_session: dict[str, float] = {}
+        snapshots = self.snapshots()
+        for snap in snapshots:
+            states[snap.state] = states.get(snap.state, 0) + 1
+            per_session[snap.session_id] = snap.progress
+            if snap.state in _TERMINAL_VALUES:
+                # Terminal: freeze the contribution at observed work so the
+                # aggregate reflects completion/cancellation immediately.
+                work_done += snap.work_done
+                work_total += snap.work_done
+            else:
+                work_done += snap.work_done
+                work_total += max(snap.work_total_estimate, snap.work_done)
+        return WorkloadView(
+            work_done=work_done,
+            work_total_estimate=work_total,
+            sessions=len(snapshots),
+            states=states,
+            per_session=per_session,
+        )

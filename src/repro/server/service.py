@@ -1,0 +1,391 @@
+"""The query-progress service: sessions + scheduler + events over TCP.
+
+:class:`ProgressService` composes the server subsystem into one object:
+
+* SQL arrives over :mod:`repro.server.protocol`, is compiled against the
+  service's catalog, wrapped in a
+  :class:`~repro.server.session.QuerySession` and admitted to the
+  :class:`~repro.server.scheduler.Scheduler`;
+* every session publishes snapshots into the service's
+  :class:`~repro.server.events.EventBus` and is listed in the
+  :class:`~repro.server.registry.SessionRegistry`;
+* a stdlib :class:`socketserver.ThreadingTCPServer` serves the protocol —
+  one daemon thread per connection, ``watch`` connections parked on their
+  event subscriptions, everything else answered from published snapshots.
+
+Server threads never drive or mutate executor state (lint rule R001
+enforces this mechanically for the whole ``repro.server`` package): the
+only threads inside operators are scheduler workers, and the only
+mutation path is ``Operator.next``/``next_batch`` under the bus lock.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.server.events import EventBus, Subscription
+from repro.server.protocol import (
+    OPS,
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+from repro.server.registry import SessionRegistry
+from repro.server.scheduler import AdmissionError, Scheduler
+from repro.server.session import QuerySession, SessionSnapshot
+from repro.storage.catalog import Catalog
+
+__all__ = ["ProgressService"]
+
+#: How long a watch loop waits for the next event before re-checking the
+#: end conditions (server shutdown, watched session already terminal).
+_WATCH_POLL_S = 0.25
+
+
+class ProgressService:
+    """A multi-session query-progress service over one catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        policy: str = "fair",
+        quantum_rows: int = 512,
+        tick_interval: int = 2000,
+        row_cap: int = 10_000,
+        max_pending: int = 64,
+        default_mode: str = "once",
+        sample_fraction: float = 0.0,
+        default_timeout_s: float | None = None,
+    ):
+        self.catalog = catalog
+        self.host = host
+        self.port = port
+        self.quantum_rows = quantum_rows
+        self.tick_interval = tick_interval
+        self.row_cap = row_cap
+        self.default_mode = default_mode
+        self.sample_fraction = sample_fraction
+        self.default_timeout_s = default_timeout_s
+        self.registry = SessionRegistry()
+        self.events = EventBus()
+        self.scheduler = Scheduler(
+            workers=workers,
+            policy=policy,
+            max_pending=max_pending,
+        )
+        self._server: _ProtocolServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # -- session operations (usable in-process, no TCP required) -----------------
+
+    def submit_sql(
+        self,
+        sql: str,
+        mode: str | None = None,
+        name: str | None = None,
+        timeout_s: float | None = None,
+        quantum_rows: int | None = None,
+    ) -> QuerySession:
+        """Compile ``sql``, admit it for execution, return the session."""
+        from repro.sql import compile_select
+
+        compiled = compile_select(
+            self.catalog, sql, sample_fraction=self.sample_fraction
+        )
+        session = QuerySession(
+            compiled.plan,
+            name=name,
+            mode=mode or self.default_mode,
+            tick_interval=self.tick_interval,
+            quantum_rows=quantum_rows or self.quantum_rows,
+            row_cap=self.row_cap,
+            timeout_s=timeout_s if timeout_s is not None else self.default_timeout_s,
+        )
+        session.add_listener(self._on_session_event)
+        self.registry.add(session)
+        try:
+            self.scheduler.submit(session)
+        except AdmissionError:
+            self.registry.remove(session.session_id)
+            raise
+        return session
+
+    def cancel(self, session_id: str, reason: str = "cancelled by client") -> bool:
+        session = self.registry.get(session_id)
+        if session is None:
+            return False
+        session.cancel(reason)
+        return True
+
+    def _on_session_event(self, _session: QuerySession, snap: SessionSnapshot) -> None:
+        self.events.publish({"event": "snapshot", "session": snap.to_wire()})
+
+    # -- TCP lifecycle ------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a background thread; returns (host, port)."""
+        if self._server is not None:
+            return self.host, self.port
+        self.scheduler.start()
+        self._server = _ProtocolServer((self.host, self.port), self)
+        self.host, self.port = self._server.server_address[:2]
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._server_thread.start()
+        return self.host, self.port
+
+    def serve_forever(self) -> None:
+        """Start and block until :meth:`shutdown` (for the CLI)."""
+        self.start()
+        self._stopped.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting connections, end watch streams, stop workers."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self.events.close()
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10.0)
+            self._server_thread = None
+        self.scheduler.shutdown(wait=True)
+
+    def __enter__(self) -> "ProgressService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- request handling ---------------------------------------------------------
+
+    def handle_request(self, request: dict, wfile) -> bool:
+        """Answer one request on ``wfile``; returns False to drop the
+        connection (only after ``shutdown``)."""
+        op = request.get("op")
+        if op not in OPS:
+            write_message(
+                wfile, error_response("bad_op", f"unknown op {op!r}; ops: {sorted(OPS)}")
+            )
+            return True
+        try:
+            handler = getattr(self, f"_op_{op}")
+            return handler(request, wfile)
+        except (BrokenPipeError, ConnectionResetError):
+            raise
+        except Exception as exc:  # noqa: BLE001 - the wire gets a typed error
+            write_message(
+                wfile, error_response(type(exc).__name__.lower(), str(exc))
+            )
+            return True
+
+    def _session_or_error(self, request: dict, wfile) -> QuerySession | None:
+        session_id = request.get("session_id")
+        session = self.registry.get(session_id) if session_id else None
+        if session is None:
+            write_message(
+                wfile,
+                error_response("unknown_session", f"no session {session_id!r}"),
+            )
+        return session
+
+    def _op_ping(self, request: dict, wfile) -> bool:
+        write_message(wfile, ok_response(pong=True))
+        return True
+
+    def _op_submit(self, request: dict, wfile) -> bool:
+        sql = request.get("sql")
+        if not sql or not isinstance(sql, str):
+            write_message(wfile, error_response("bad_request", "submit needs 'sql'"))
+            return True
+        try:
+            session = self.submit_sql(
+                sql,
+                mode=request.get("mode"),
+                name=request.get("name"),
+                timeout_s=request.get("timeout_s"),
+                quantum_rows=request.get("quantum_rows"),
+            )
+        except AdmissionError as exc:
+            write_message(wfile, error_response("admission", str(exc)))
+            return True
+        write_message(wfile, ok_response(session=session.snapshot().to_wire()))
+        return True
+
+    def _op_status(self, request: dict, wfile) -> bool:
+        session = self._session_or_error(request, wfile)
+        if session is not None:
+            write_message(wfile, ok_response(session=session.snapshot().to_wire()))
+        return True
+
+    def _op_list(self, request: dict, wfile) -> bool:
+        write_message(
+            wfile,
+            ok_response(
+                sessions=[snap.to_wire() for snap in self.registry.snapshots()],
+                workload=self.registry.workload().to_wire(),
+            ),
+        )
+        return True
+
+    def _op_cancel(self, request: dict, wfile) -> bool:
+        session = self._session_or_error(request, wfile)
+        if session is not None:
+            session.cancel(str(request.get("reason") or "cancelled by client"))
+            write_message(wfile, ok_response(session=session.snapshot().to_wire()))
+        return True
+
+    def _op_fetch(self, request: dict, wfile) -> bool:
+        session = self._session_or_error(request, wfile)
+        if session is not None:
+            columns, rows, truncated = session.results()
+            write_message(
+                wfile,
+                ok_response(
+                    columns=columns,
+                    rows=[list(row) for row in rows],
+                    truncated=truncated,
+                    row_count=session.row_count,
+                    state=session.state.value,
+                ),
+            )
+        return True
+
+    def _op_shutdown(self, request: dict, wfile) -> bool:
+        write_message(wfile, ok_response())
+        # Shut down from a helper thread: shutdown() joins the serve loop,
+        # which would deadlock if called from a handler thread directly.
+        threading.Thread(target=self.shutdown, daemon=True).start()
+        return False
+
+    def _op_watch(self, request: dict, wfile) -> bool:
+        session_id = request.get("session_id")
+        until_idle = bool(request.get("until_idle"))
+        if session_id is not None and self.registry.get(session_id) is None:
+            write_message(
+                wfile,
+                error_response("unknown_session", f"no session {session_id!r}"),
+            )
+            return True
+        subscription = self.events.subscribe()
+        try:
+            self._stream_watch(subscription, session_id, until_idle, wfile)
+        finally:
+            # Detach whether the stream ended or the client dropped —
+            # otherwise every dead watcher would keep receiving forever.
+            subscription.close()
+        return True
+
+    def _stream_watch(
+        self,
+        subscription: Subscription,
+        session_id: str | None,
+        until_idle: bool,
+        wfile,
+    ) -> None:
+        # Per-session high-water snapshot sequence: events queued before the
+        # priming snapshot was taken are stale and must not be re-emitted
+        # after it (they would make the stream regress).
+        last_seq: dict[str, int] = {}
+
+        def emit_session(wire: dict) -> bool:
+            sid = wire.get("session_id", "")
+            seq = int(wire.get("seq", 0))
+            if seq <= last_seq.get(sid, -1):
+                return False
+            last_seq[sid] = seq
+            write_message(wfile, {"event": "snapshot", "session": wire})
+            return True
+
+        def emit_workload() -> None:
+            write_message(
+                wfile, {"event": "workload", "workload": self.registry.workload().to_wire()}
+            )
+
+        def end(reason: str) -> None:
+            write_message(wfile, {"event": "end", "reason": reason})
+
+        # Prime the stream with current state so watchers render instantly.
+        if session_id is not None:
+            session = self.registry.get(session_id)
+            snap = session.snapshot()
+            emit_session(snap.to_wire())
+            if session.finished:
+                end("session terminal")
+                return
+        else:
+            for snap in self.registry.snapshots():
+                emit_session(snap.to_wire())
+            emit_workload()
+            if until_idle and self.registry.workload().idle:
+                end("workload idle")
+                return
+        while True:
+            try:
+                event = subscription.get(timeout=_WATCH_POLL_S)
+            except TimeoutError:
+                if self._stopped.is_set():
+                    end("server shutdown")
+                    return
+                continue
+            if event is None:
+                end("server shutdown")
+                return
+            wire = event.get("session", {})
+            if session_id is not None:
+                if wire.get("session_id") != session_id:
+                    continue
+                emit_session(wire)
+                if wire.get("state") in ("finished", "cancelled", "failed"):
+                    end("session terminal")
+                    return
+            else:
+                emit_session(wire)
+                if wire.get("state") in ("finished", "cancelled", "failed"):
+                    emit_workload()
+                    if until_idle and self.registry.workload().idle:
+                        end("workload idle")
+                        return
+
+
+class _ProtocolHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: ProgressService = self.server.service  # type: ignore[attr-defined]
+        try:
+            while True:
+                try:
+                    request = read_message(self.rfile)
+                except ProtocolError as exc:
+                    write_message(
+                        self.wfile, error_response("protocol", str(exc))
+                    )
+                    return
+                if request is None:
+                    return
+                if not service.handle_request(request, self.wfile):
+                    return
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away; watch subscriptions were detached
+
+
+class _ProtocolServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ProgressService):
+        self.service = service
+        super().__init__(address, _ProtocolHandler)

@@ -1,0 +1,326 @@
+"""Resumable query sessions: one running query under service management.
+
+A :class:`QuerySession` wraps a physical plan, its
+:class:`~repro.core.progress.ProgressMonitor` and a
+:class:`~repro.executor.engine.PlanCursor` into a *stepper*: each
+:meth:`step` call advances the query by one quantum of output rows and
+returns, which is what lets a thread-pool scheduler time-slice many
+queries over few workers. Between steps the session is entirely passive —
+no thread is parked inside it.
+
+State machine::
+
+    PENDING --step--> RUNNING --exhausted--> FINISHED
+        \\                |   \\--error------> FAILED
+         \\               \\---cancel/deadline--> CANCELLED
+          \\--cancel--> CANCELLED
+
+Cancellation is cooperative: :meth:`cancel` only raises a flag, honoured
+at the next step boundary (a quantum is the unit of preemption, exactly
+like the interleaved executor's turns). A per-session ``timeout_s`` is
+enforced the same way, measured from the first step.
+
+Progress reporting never touches executor internals from server threads:
+the worker thread publishes a :class:`SessionSnapshot` after every step
+*and* from inside blocking phases (via the session's tick-bus callback,
+which piggybacks on the monitor's freshly recorded snapshot), so watchers
+keep seeing movement during a long hash-join build. Reported per-session
+progress is a high-water mark — ``T̂(Q)`` revisions may shrink the
+estimate, but a progress bar that moves backwards helps nobody, and the
+acceptance bar for streamed snapshots is monotone non-decreasing.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.progress import ProgressMonitor, ProgressSnapshot
+from repro.executor.engine import PlanCursor, TickBus
+from repro.executor.operators.base import Operator
+from repro.storage.catalog import Catalog
+
+__all__ = ["QuerySession", "SessionSnapshot", "SessionState", "TERMINAL_STATES"]
+
+_session_ids = itertools.count(1)
+
+
+class SessionState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+TERMINAL_STATES = frozenset(
+    {SessionState.FINISHED, SessionState.CANCELLED, SessionState.FAILED}
+)
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """An immutable, wire-ready view of one session's progress."""
+
+    session_id: str
+    name: str
+    state: str
+    seq: int
+    progress: float
+    work_done: float
+    work_total_estimate: float
+    row_count: int
+    elapsed_s: float
+    error: str | None = None
+
+    def to_wire(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "name": self.name,
+            "state": self.state,
+            "seq": self.seq,
+            "progress": round(self.progress, 6),
+            "work_done": self.work_done,
+            "work_total_estimate": self.work_total_estimate,
+            "row_count": self.row_count,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "error": self.error,
+        }
+
+
+class QuerySession:
+    """A resumable, cancellable execution of one plan.
+
+    Parameters
+    ----------
+    plan:
+        The physical plan to run.
+    mode / catalog / tick_interval:
+        Forwarded to a freshly built :class:`ProgressMonitor` unless
+        ``monitor``/``bus`` are injected (the interleaved executor reuses
+        its pre-built per-handle monitors that way).
+    quantum_rows:
+        Output rows pulled per :meth:`step`.
+    row_cap:
+        Result spool bound: at most this many rows are retained for
+        ``fetch``; production beyond the cap still runs (and counts), the
+        spool is just truncated. ``0`` disables spooling.
+    timeout_s:
+        Cooperative deadline measured from the first step; exceeding it
+        cancels the session with a timeout error.
+    """
+
+    def __init__(
+        self,
+        plan: Operator,
+        name: str | None = None,
+        session_id: str | None = None,
+        mode: str = "once",
+        catalog: Catalog | None = None,
+        monitor: ProgressMonitor | None = None,
+        bus: TickBus | None = None,
+        tick_interval: int = 1000,
+        quantum_rows: int = 256,
+        row_cap: int = 10_000,
+        timeout_s: float | None = None,
+    ):
+        if quantum_rows < 1:
+            raise ValueError(f"quantum_rows must be >= 1, got {quantum_rows}")
+        if row_cap < 0:
+            raise ValueError(f"row_cap must be >= 0, got {row_cap}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.session_id = session_id or f"s{next(_session_ids):04d}"
+        self.name = name or self.session_id
+        self.plan = plan
+        self.quantum_rows = quantum_rows
+        self.row_cap = row_cap
+        self.timeout_s = timeout_s
+        self.bus = bus if bus is not None else TickBus(interval=tick_interval)
+        self.monitor = (
+            monitor
+            if monitor is not None
+            else ProgressMonitor(plan, mode=mode, catalog=catalog, bus=self.bus)
+        )
+        self.cursor = PlanCursor(plan, bus=self.bus)
+        self.state = SessionState.PENDING
+        self.row_count = 0
+        self.rows: list[tuple] = []
+        self.error: str | None = None
+        self.created_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.listeners: list[Callable[["QuerySession", SessionSnapshot], None]] = []
+        self._step_lock = threading.RLock()
+        self._cancel = threading.Event()
+        self._cancel_reason: str | None = None
+        self._deadline: float | None = None
+        self._seq = itertools.count(1)
+        self._last_progress: ProgressSnapshot | None = None
+        self._high_water = 0.0
+        self._ticked_this_quantum = False
+        self.bus.subscribe(self._on_bus_tick)
+
+    # -- observation -------------------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[["QuerySession", SessionSnapshot], None]
+    ) -> None:
+        """Register a callback invoked with every published snapshot."""
+        self.listeners.append(listener)
+
+    def _on_bus_tick(self, _count: int) -> None:
+        # Fired by the executing thread, including from deep inside
+        # blocking phases. The monitor's own subscription ran first (it
+        # subscribed in its constructor), so its freshest snapshot is the
+        # last list entry — reuse it instead of sampling twice.
+        if self.monitor.snapshots:
+            self._ticked_this_quantum = True
+            self._last_progress = self.monitor.snapshots[-1]
+            self._publish()
+
+    def _publish(self) -> None:
+        snap = self.snapshot()
+        for listener in self.listeners:
+            listener(self, snap)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def elapsed_s(self) -> float:
+        start = self.started_at if self.started_at is not None else self.created_at
+        end = self.finished_at if self.finished_at is not None else time.monotonic()
+        return max(end - start, 0.0)
+
+    def remaining_work(self) -> float:
+        """Live ``T̂(Q) − C(Q)``: the scheduler's shortest-expected-
+        remaining-work key. Terminal sessions report 0."""
+        if self.state in TERMINAL_STATES:
+            return 0.0
+        progress = self._last_progress
+        if progress is None:
+            # Not yet started: prime from optimizer estimates. Safe — no
+            # thread is executing this plan before its first step.
+            progress = self.monitor.snapshot()
+            self._last_progress = progress
+        return max(progress.work_total_estimate - progress.work_done, 0.0)
+
+    def snapshot(self) -> SessionSnapshot:
+        """Current progress view, safe from any thread (never samples the
+        live plan; reads the last snapshot the executing thread published)."""
+        state = self.state
+        progress = self._last_progress
+        if state is SessionState.FINISHED:
+            # C(Q) is now the exact T(Q): pin to 1.0 with matching totals
+            # so aggregates over finished sessions cannot drift or regress.
+            done = total = self.monitor.true_total()
+            frac = 1.0
+        elif progress is not None:
+            done = progress.work_done
+            total = progress.work_total_estimate
+            frac = progress.progress
+        else:
+            done = total = 0.0
+            frac = 0.0
+        self._high_water = max(self._high_water, frac)
+        return SessionSnapshot(
+            session_id=self.session_id,
+            name=self.name,
+            state=state.value,
+            seq=next(self._seq),
+            progress=self._high_water if state is not SessionState.FINISHED else 1.0,
+            work_done=done,
+            work_total_estimate=total,
+            row_count=self.row_count,
+            elapsed_s=self.elapsed_s(),
+            error=self.error,
+        )
+
+    def results(self) -> tuple[list[str], list[tuple], bool]:
+        """``(columns, spooled rows, truncated?)`` for the fetch op."""
+        columns = self.plan.output_schema.names()
+        return columns, list(self.rows), self.row_count > len(self.rows)
+
+    # -- control -----------------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Request cooperative cancellation; honoured at the next step."""
+        self._cancel_reason = reason
+        self._cancel.set()
+
+    def step(self, quantum_rows: int | None = None) -> bool:
+        """Advance by one quantum. Returns True while more work remains.
+
+        Terminal transitions (FINISHED / CANCELLED / FAILED) happen inside
+        this call: the plan is closed, the final snapshot published, and
+        False returned — at which point the scheduler drops the session
+        and the worker is free.
+        """
+        with self._step_lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            if self._cancel.is_set():
+                self._finalize(SessionState.CANCELLED, self._cancel_reason)
+                return False
+            if self.state is SessionState.PENDING:
+                self.started_at = time.monotonic()
+                if self.timeout_s is not None:
+                    self._deadline = self.started_at + self.timeout_s
+                try:
+                    self.cursor.open()
+                except Exception as exc:  # noqa: BLE001 - reported as FAILED
+                    self._finalize(SessionState.FAILED, _describe_error(exc))
+                    return False
+                self.state = SessionState.RUNNING
+            if self._deadline is not None and time.monotonic() >= self._deadline:
+                self._finalize(
+                    SessionState.CANCELLED,
+                    f"deadline exceeded (timeout_s={self.timeout_s:g})",
+                )
+                return False
+            try:
+                batch = self.cursor.fetch(quantum_rows or self.quantum_rows)
+            except Exception as exc:  # noqa: BLE001 - reported as FAILED
+                self._finalize(SessionState.FAILED, _describe_error(exc))
+                return False
+            if batch:
+                self.row_count += len(batch)
+                room = self.row_cap - len(self.rows)
+                if room > 0:
+                    self.rows.extend(batch[:room])
+            if self.cursor.exhausted or not batch:
+                self._finalize(SessionState.FINISHED, None)
+                return False
+            if not self._ticked_this_quantum:
+                # The tick bus stayed quiet this quantum (tick_interval >
+                # quantum); publish from the step boundary so watchers
+                # still see movement.
+                self._last_progress = self.monitor.snapshot()
+                self._publish()
+            self._ticked_this_quantum = False
+            return True
+
+    def _finalize(self, state: SessionState, error: str | None) -> None:
+        self.error = error
+        if self.cursor.opened and not self.cursor.closed:
+            # Sample *before* close: closing marks every pipeline finished,
+            # which would make a cancelled mid-flight session read as 1.0.
+            self._last_progress = self.monitor.snapshot()
+        try:
+            self.cursor.close()
+        except Exception as exc:  # noqa: BLE001 - close failure must not mask state
+            if self.error is None:
+                self.error = _describe_error(exc)
+        self.state = state
+        self.finished_at = time.monotonic()
+        self.bus.unsubscribe(self._on_bus_tick)
+        self._publish()
+
+
+def _describe_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"

@@ -99,3 +99,37 @@ class TestMain:
 
     def test_unknown_rule_exit_two(self, capsys):
         assert main(["--rules", "R999", fixture("good_operator.py")]) == 2
+
+
+class TestR001ServerExtension:
+    """Server modules may not drive the tick bus or write its counters."""
+
+    SOURCE = (
+        "class Watcher:\n"
+        "    def poke(self, bus):\n"
+        "        bus.tick()\n"
+        "        bus.tick_n(10)\n"
+        "        bus.count = 0\n"
+    )
+
+    def _write(self, tmp_path, *parts):
+        target = tmp_path.joinpath(*parts)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.SOURCE)
+        return str(target)
+
+    def test_tick_and_counter_writes_flagged_in_server_package(self, tmp_path):
+        path = self._write(tmp_path, "repro", "server", "bad_driver.py")
+        violations = lint_paths([path], rules={"R001"})
+        assert len(violations) == 3
+        assert rules_of(violations) == {"R001"}
+        messages = " ".join(v.message for v in violations)
+        assert "tick" in messages and "count" in messages
+
+    def test_same_code_outside_server_package_is_clean(self, tmp_path):
+        path = self._write(tmp_path, "repro", "core", "fine_driver.py")
+        assert lint_paths([path], rules={"R001"}) == []
+
+    def test_shipped_server_package_is_clean(self):
+        server_pkg = REPO / "src" / "repro" / "server"
+        assert lint_paths([str(server_pkg)], rules={"R001"}) == []

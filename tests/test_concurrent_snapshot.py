@@ -1,0 +1,96 @@
+"""Stress test: ProgressMonitor.snapshot() from reader threads mid-run.
+
+The server's watch streams sample monitors from threads that are *not*
+executing the plan; the tick bus's sampling lock is what makes that safe.
+These tests hammer ``snapshot()`` from concurrent readers while the plan
+runs and assert the three guarantees the serving layer depends on:
+
+* no exceptions (estimator dicts are never observed mid-mutation),
+* ``work_done`` is monotone non-decreasing per reader,
+* ``progress`` stays inside ``[0, 1]``.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.progress import ProgressMonitor
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine, TickBus
+from repro.executor.operators import HashJoin, SeqScan
+
+N_READERS = 4
+
+
+def make_join(rows: int, tag: str):
+    a = customer_variant(1.0, 50, 0, rows, name=f"a{tag}")
+    b = customer_variant(1.0, 50, 1, rows, name=f"b{tag}")
+    return HashJoin(
+        SeqScan(a), SeqScan(b), f"a{tag}.nationkey", f"b{tag}.nationkey"
+    )
+
+
+class Reader(threading.Thread):
+    def __init__(self, monitor: ProgressMonitor, stop: threading.Event):
+        super().__init__(daemon=True)
+        self.monitor = monitor
+        self.stop = stop
+        self.samples: list[tuple[float, float]] = []
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            while not self.stop.is_set():
+                snap = self.monitor.snapshot()
+                self.samples.append((snap.work_done, snap.progress))
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            self.error = exc
+
+
+@pytest.mark.parametrize("mode", ["once", "dne", "byte"])
+@pytest.mark.parametrize("batch_size", [None, 128])
+def test_reader_threads_never_tear_snapshots(mode, batch_size):
+    plan = make_join(1200, f"{mode}{batch_size or 'row'}")
+    bus = TickBus(interval=50)
+    monitor = ProgressMonitor(plan, mode=mode, bus=bus)
+    stop = threading.Event()
+    readers = [Reader(monitor, stop) for _ in range(N_READERS)]
+    for r in readers:
+        r.start()
+    try:
+        result = ExecutionEngine(plan, bus=bus, collect_rows=False).run(
+            batch_size=batch_size
+        )
+    finally:
+        stop.set()
+        for r in readers:
+            r.join(timeout=30.0)
+
+    assert result.row_count > 0
+    total_samples = 0
+    for r in readers:
+        assert not r.is_alive(), "reader thread wedged"
+        assert r.error is None, f"snapshot() raised in reader: {r.error!r}"
+        total_samples += len(r.samples)
+        dones = [done for done, _p in r.samples]
+        assert dones == sorted(dones), "work_done regressed across samples"
+        assert all(0.0 <= p <= 1.0 for _d, p in r.samples)
+    # The readers must actually have raced the run, not sampled afterwards.
+    assert total_samples > N_READERS
+
+
+def test_reader_sees_progress_advance_mid_run():
+    plan = make_join(2000, "adv")
+    bus = TickBus(interval=100)
+    monitor = ProgressMonitor(plan, mode="once", bus=bus)
+    stop = threading.Event()
+    reader = Reader(monitor, stop)
+    reader.start()
+    try:
+        ExecutionEngine(plan, bus=bus, collect_rows=False).run(batch_size=64)
+    finally:
+        stop.set()
+        reader.join(timeout=30.0)
+    assert reader.error is None
+    mid = [p for _d, p in reader.samples if 0.0 < p < 1.0]
+    assert mid, "reader never observed the query mid-flight"

@@ -93,3 +93,90 @@ class TestExecutionEngine:
         with pytest.raises(TypeError):
             engine.run()
         assert scan.state is OperatorState.CLOSED
+
+
+class TestTickBusUnsubscribe:
+    def test_dropped_subscriber_stops_being_invoked(self):
+        bus = TickBus(interval=5)
+        kept, dropped = [], []
+        keep = lambda c: kept.append(c)  # noqa: E731
+        drop = lambda c: dropped.append(c)  # noqa: E731
+        bus.subscribe(keep)
+        bus.subscribe(drop)
+        for _ in range(5):
+            bus.tick()
+        bus.unsubscribe(drop)
+        for _ in range(10):
+            bus.tick()
+        assert kept == [5, 10, 15]
+        assert dropped == [5]
+
+    def test_unsubscribe_unknown_callback_is_noop(self):
+        bus = TickBus(interval=1)
+        fired = []
+        bus.subscribe(lambda c: fired.append(c))
+        bus.unsubscribe(lambda c: None)  # never subscribed
+        bus.tick()
+        assert fired == [1]
+
+    def test_unsubscribe_is_identity_based(self):
+        bus = TickBus(interval=1)
+        a, b = [], []
+        first = lambda c: a.append(c)  # noqa: E731
+        second = lambda c: b.append(c)  # noqa: E731
+        bus.subscribe(first)
+        bus.subscribe(second)
+        bus.unsubscribe(first)
+        bus.tick()
+        assert a == [] and b == [1]
+
+
+class TestPlanCursor:
+    def test_fetch_quanta_match_engine_rows(self, tiny_table):
+        from repro.executor.engine import PlanCursor
+
+        expected = ExecutionEngine(SeqScan(tiny_table)).run().rows
+        cursor = PlanCursor(SeqScan(tiny_table))
+        cursor.open()
+        rows = []
+        while True:
+            batch = cursor.fetch(2)
+            if not batch:
+                break
+            rows.extend(batch)
+        cursor.close()
+        assert rows == expected
+        assert cursor.rows_pulled == len(expected)
+        assert cursor.exhausted and cursor.closed
+
+    def test_fetch_requires_open(self, tiny_table):
+        from repro.common.errors import ExecutorError
+        from repro.executor.engine import PlanCursor
+
+        cursor = PlanCursor(SeqScan(tiny_table))
+        with pytest.raises(ExecutorError):
+            cursor.fetch(1)
+
+    def test_fetch_after_close_rejected(self, tiny_table):
+        from repro.common.errors import ExecutorError
+        from repro.executor.engine import PlanCursor
+
+        cursor = PlanCursor(SeqScan(tiny_table))
+        cursor.open()
+        cursor.close()
+        with pytest.raises(ExecutorError):
+            cursor.fetch(1)
+
+    def test_ticks_flow_through_bus(self, tiny_table):
+        from repro.executor.engine import PlanCursor
+
+        bus = TickBus(interval=1)
+        ticks = []
+        bus.subscribe(lambda c: ticks.append(c))
+        cursor = PlanCursor(SeqScan(tiny_table), bus=bus)
+        cursor.open()
+        while cursor.fetch(2):
+            pass
+        cursor.close()
+        assert bus.count >= 5
+        assert ticks

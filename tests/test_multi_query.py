@@ -74,3 +74,87 @@ class TestMultiQueryMonitor:
         monitor.add_query("only", make_join(300, "x"))
         counts = InterleavedExecutor(monitor).run()
         assert counts["only"] > 0
+
+
+class TestFinishedQueryPinning:
+    def test_finished_query_contributes_exact_total(self):
+        monitor = MultiQueryProgressMonitor()
+        handle = monitor.add_query("done", make_join(400, "x"))
+        running = monitor.add_query("live", make_join(400, "y"))
+        # Drain only the first query (quantum larger than its output).
+        from repro.server.session import QuerySession
+
+        session = QuerySession(
+            handle.plan,
+            monitor=handle.monitor,
+            bus=handle.bus,
+            quantum_rows=10_000,
+            row_cap=0,
+        )
+        while session.step():
+            pass
+        handle.finished = True
+        snap = monitor.snapshot()
+        assert snap.per_query["done"] == 1.0
+        assert 0.0 <= snap.per_query["live"] < 1.0
+        # The finished query's contribution is pinned to its observed
+        # total on both sides of the fraction.
+        true_total = handle.monitor.true_total()
+        live = running.monitor.snapshot()
+        assert snap.work_done == pytest.approx(true_total + live.work_done)
+
+    def test_marking_finished_never_lowers_aggregate(self):
+        """Flipping a drained query to finished pins its contribution;
+        the aggregate must not drop even when the estimator overshot."""
+        monitor = MultiQueryProgressMonitor()
+        done = monitor.add_query("done", make_join(400, "x"))
+        monitor.add_query("live", make_join(400, "y"))
+        from repro.server.session import QuerySession
+
+        session = QuerySession(
+            done.plan,
+            monitor=done.monitor,
+            bus=done.bus,
+            quantum_rows=10_000,
+            row_cap=0,
+        )
+        while session.step():
+            pass
+        before = monitor.snapshot()
+        done.finished = True
+        after = monitor.snapshot()
+        assert after.per_query["done"] == 1.0
+        assert after.progress >= before.progress - 1e-9
+
+
+class TestThreadedInterleaving:
+    def test_multiple_workers_complete_and_match_counts(self):
+        single = MultiQueryProgressMonitor()
+        for i in range(4):
+            single.add_query(f"q{i}", make_join(350, f"s{i}"))
+        expected = InterleavedExecutor(single, quantum_rows=64).run()
+
+        threaded = MultiQueryProgressMonitor()
+        for i in range(4):
+            threaded.add_query(f"q{i}", make_join(350, f"s{i}"))
+        counts = InterleavedExecutor(threaded, quantum_rows=64, workers=4).run()
+        assert counts == expected
+        assert threaded.snapshot().progress == pytest.approx(1.0)
+
+    def test_finished_queries_take_no_extra_turns(self):
+        monitor = MultiQueryProgressMonitor()
+        monitor.add_query("small", make_join(100, "x"))
+        monitor.add_query("large", make_join(1200, "y"))
+        executor = InterleavedExecutor(monitor, quantum_rows=50)
+        counts = executor.run()
+        # Each query needs ceil(rows / quantum) producing turns plus one
+        # exhausting turn; a finished query must not keep consuming turns
+        # while the larger one drains.
+        expected_turns = sum(
+            -(-rows // 50) + 1 for rows in counts.values()
+        )
+        assert executor.turns_taken <= expected_turns + 2
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            InterleavedExecutor(MultiQueryProgressMonitor(), workers=0)

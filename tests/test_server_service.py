@@ -1,0 +1,229 @@
+"""End-to-end tests for the TCP progress service and client library.
+
+Covers the acceptance scenario from the server subsystem design: 16
+concurrent sessions on a 4-worker scheduler, each watched by two
+concurrent subscribers, with monotone streamed progress, exact 1.0 final
+snapshots, results that match the single-threaded engine row for row, and
+cancellation that frees the worker and shows up in the aggregate view.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.server import ProgressClient, ProgressService, ServiceError
+from repro.server.protocol import decode, encode
+from repro.sql import compile_select
+
+QUERIES = [
+    "SELECT c.name, o.totalprice FROM customer c JOIN orders o"
+    " ON c.custkey = o.custkey",
+    "SELECT o.orderkey, o.totalprice FROM orders o WHERE o.totalprice > 1000",
+    "SELECT n.name, c.name FROM nation n JOIN customer c"
+    " ON n.nationkey = c.nationkey",
+    "SELECT o.custkey, COUNT(*) FROM orders o GROUP BY o.custkey",
+]
+
+LONG_QUERY = (
+    "SELECT a.orderkey, b.orderkey FROM orders a JOIN orders b"
+    " ON a.custkey = b.custkey"
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.datagen import generate_tpch
+
+    return generate_tpch(sf=0.002, seed=21)
+
+
+@pytest.fixture()
+def service(db):
+    svc = ProgressService(
+        db,
+        port=0,
+        workers=4,
+        quantum_rows=64,
+        tick_interval=200,
+        row_cap=50_000,
+        max_pending=64,
+    )
+    svc.start()
+    client = ProgressClient(svc.host, svc.port, timeout=30.0)
+    try:
+        yield svc, client
+    finally:
+        svc.shutdown()
+
+
+def collect_watch(client, session_id, out):
+    events = [e for e in client.watch(session_id)]
+    out.append(events)
+
+
+class TestAcceptance:
+    def test_sixteen_concurrent_sessions_two_watchers_each(self, db, service):
+        _svc, client = service
+        expected_rows = {}
+        for i, sql in enumerate(QUERIES):
+            result = ExecutionEngine(compile_select(db, sql).plan).run()
+            expected_rows[i % len(QUERIES)] = result.rows
+
+        submitted = []
+        for i in range(16):
+            sql = QUERIES[i % len(QUERIES)]
+            snap = client.submit(sql, name=f"q{i:02d}")
+            submitted.append((i, snap["session_id"]))
+
+        streams: dict[str, list] = {}
+        threads = []
+        for _i, sid in submitted:
+            for _w in range(2):
+                out = []
+                streams.setdefault(sid, []).append(out)
+                t = threading.Thread(
+                    target=collect_watch, args=(client, sid, out), daemon=True
+                )
+                t.start()
+                threads.append(t)
+
+        finals = {sid: client.wait(sid, timeout=120.0) for _i, sid in submitted}
+        for t in threads:
+            t.join(timeout=30.0)
+            assert not t.is_alive(), "watcher thread did not terminate"
+
+        for i, sid in submitted:
+            final = finals[sid]
+            assert final["state"] == "finished"
+            assert final["progress"] == 1.0
+            assert final["work_done"] == final["work_total_estimate"]
+
+            fetched = client.fetch(sid)
+            assert not fetched["truncated"]
+            got = [tuple(row) for row in fetched["rows"]]
+            assert got == expected_rows[i % len(QUERIES)]
+
+            for out in streams[sid]:
+                (events,) = out
+                assert events, f"watcher of {sid} saw no events"
+                assert events[-1]["event"] == "end"
+                snaps = [e["session"] for e in events if e["event"] == "snapshot"]
+                assert snaps, f"watcher of {sid} saw no snapshots"
+                assert all(s["session_id"] == sid for s in snaps)
+                progresses = [s["progress"] for s in snaps]
+                assert progresses == sorted(progresses), (
+                    f"stream for {sid} regressed: {progresses}"
+                )
+                assert snaps[-1]["progress"] == 1.0
+                assert snaps[-1]["state"] == "finished"
+
+        workload = client.list_sessions()["workload"]
+        assert workload["progress"] == 1.0
+        assert workload["states"] == {"finished": 16}
+
+    def test_cancel_mid_flight_reflected_in_workload(self, service):
+        _svc, client = service
+        victim = client.submit(LONG_QUERY, name="victim", quantum_rows=16)
+        survivor = client.submit(QUERIES[1], name="survivor")
+        cancelled = client.cancel(victim["session_id"], reason="operator abort")
+        final_victim = client.wait(victim["session_id"], timeout=60.0)
+        final_survivor = client.wait(survivor["session_id"], timeout=60.0)
+        assert cancelled["session_id"] == victim["session_id"]
+        assert final_victim["state"] == "cancelled"
+        assert final_victim["error"] == "operator abort"
+        # The worker was released: the other query still ran to completion.
+        assert final_survivor["state"] == "finished"
+        listing = client.list_sessions()
+        workload = listing["workload"]
+        assert workload["states"]["cancelled"] == 1
+        assert workload["states"]["finished"] == 1
+        assert workload["idle"]
+        by_id = {s["session_id"]: s for s in listing["sessions"]}
+        assert by_id[victim["session_id"]]["state"] == "cancelled"
+
+    def test_timeout_cancels_session(self, service):
+        _svc, client = service
+        snap = client.submit(LONG_QUERY, timeout_s=0.001, quantum_rows=8)
+        final = client.wait(snap["session_id"], timeout=60.0)
+        assert final["state"] == "cancelled"
+        assert "deadline exceeded" in final["error"]
+
+
+class TestProtocolOps:
+    def test_ping(self, service):
+        _svc, client = service
+        assert client.ping() is True
+
+    def test_status_unknown_session(self, service):
+        _svc, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("no-such-session")
+        assert excinfo.value.code == "unknown_session"
+
+    def test_submit_bad_sql(self, service):
+        _svc, client = service
+        with pytest.raises(ServiceError):
+            client.submit("SELECT FROM WHERE")
+
+    def test_unknown_op_rejected(self, service):
+        svc, _client = service
+        with socket.create_connection((svc.host, svc.port), timeout=10) as conn:
+            conn.sendall(encode({"op": "explode"}))
+            with conn.makefile("rb") as stream:
+                response = decode(stream.readline())
+        assert response["ok"] is False
+
+    def test_multiple_requests_one_connection(self, service):
+        svc, _client = service
+        with socket.create_connection((svc.host, svc.port), timeout=10) as conn:
+            with conn.makefile("rb") as stream:
+                for _ in range(3):
+                    conn.sendall(encode({"op": "ping"}))
+                    response = decode(stream.readline())
+                    assert response["ok"] and response["pong"]
+
+    def test_aggregate_watch_until_idle(self, service):
+        _svc, client = service
+        sids = [
+            client.submit(QUERIES[i % len(QUERIES)], name=f"agg{i}")["session_id"]
+            for i in range(3)
+        ]
+        events = list(client.watch(until_idle=True))
+        assert events[-1]["event"] == "end"
+        workloads = [e["workload"] for e in events if e.get("event") == "workload"]
+        assert workloads, "aggregate watch never reported workload progress"
+        dones = [w["work_done"] for w in workloads]
+        assert dones == sorted(dones)
+        assert workloads[-1]["progress"] == 1.0
+        for sid in sids:
+            assert client.status(sid)["state"] == "finished"
+
+    def test_admission_error_surfaces_to_client(self, db):
+        svc = ProgressService(db, port=0, workers=1, max_pending=1)
+        svc.start()
+        client = ProgressClient(svc.host, svc.port)
+        try:
+            client.submit(LONG_QUERY, quantum_rows=8)
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(LONG_QUERY, quantum_rows=8)
+            assert excinfo.value.code == "admission"
+        finally:
+            svc.shutdown()
+
+    def test_shutdown_op(self, db):
+        svc = ProgressService(db, port=0, workers=1)
+        svc.start()
+        client = ProgressClient(svc.host, svc.port)
+        client.shutdown_server()
+        assert svc._stopped.wait(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection((svc.host, svc.port), timeout=1).close()
+            except OSError:
+                return  # listening socket is gone: clean shutdown
+            time.sleep(0.05)
+        pytest.fail("server socket still accepting connections after shutdown")

@@ -1,0 +1,169 @@
+"""Tests for repro.server.session: resumable, cancellable query sessions."""
+
+import pytest
+
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine
+from repro.executor.operators import HashJoin, SeqScan
+from repro.server.session import QuerySession, SessionState, TERMINAL_STATES
+
+
+def make_join(rows: int, tag: str):
+    a = customer_variant(1.0, 50, 0, rows, name=f"a{tag}")
+    b = customer_variant(1.0, 50, 1, rows, name=f"b{tag}")
+    return HashJoin(
+        SeqScan(a), SeqScan(b), f"a{tag}.nationkey", f"b{tag}.nationkey"
+    )
+
+
+def drive(session: QuerySession, max_steps: int = 100_000) -> int:
+    steps = 0
+    while session.step():
+        steps += 1
+        assert steps < max_steps, "session did not terminate"
+    return steps
+
+
+class TestLifecycle:
+    def test_runs_to_completion_and_matches_engine(self):
+        plan = make_join(400, "m")
+        expected = ExecutionEngine(make_join(400, "m")).run()
+        session = QuerySession(plan, quantum_rows=64, row_cap=100_000)
+        assert session.state is SessionState.PENDING
+        drive(session)
+        assert session.state is SessionState.FINISHED
+        assert session.finished
+        assert session.row_count == expected.row_count
+        columns, rows, truncated = session.results()
+        assert not truncated
+        assert rows == expected.rows
+
+    def test_final_snapshot_is_exactly_one(self):
+        session = QuerySession(make_join(300, "f"), quantum_rows=50)
+        drive(session)
+        snap = session.snapshot()
+        assert snap.state == "finished"
+        assert snap.progress == 1.0
+        assert snap.work_done == snap.work_total_estimate
+
+    def test_step_after_terminal_is_noop(self):
+        session = QuerySession(make_join(100, "n"), quantum_rows=1000)
+        drive(session)
+        assert session.step() is False
+        assert session.state is SessionState.FINISHED
+
+    def test_streamed_snapshots_monotone(self):
+        session = QuerySession(
+            make_join(500, "s"), quantum_rows=32, tick_interval=100
+        )
+        seen = []
+        session.add_listener(lambda _s, snap: seen.append(snap))
+        drive(session)
+        assert len(seen) > 3
+        progresses = [s.progress for s in seen]
+        assert progresses == sorted(progresses)
+        seqs = [s.seq for s in seen]
+        assert seqs == sorted(seqs)
+        assert seen[-1].progress == 1.0
+
+    def test_work_done_monotone_in_stream(self):
+        session = QuerySession(
+            make_join(500, "w"), quantum_rows=32, tick_interval=100
+        )
+        work = []
+        session.add_listener(lambda _s, snap: work.append(snap.work_done))
+        drive(session)
+        assert work == sorted(work)
+
+
+class TestRowCap:
+    def test_spool_truncated_at_cap(self):
+        session = QuerySession(make_join(400, "c"), quantum_rows=64, row_cap=10)
+        drive(session)
+        columns, rows, truncated = session.results()
+        assert len(rows) == 10
+        assert truncated
+        assert session.row_count > 10
+
+    def test_row_cap_zero_disables_spool(self):
+        session = QuerySession(make_join(200, "z"), quantum_rows=64, row_cap=0)
+        drive(session)
+        _, rows, truncated = session.results()
+        assert rows == []
+        assert truncated
+        assert session.row_count > 0
+
+
+class TestCancellation:
+    def test_cancel_before_start(self):
+        session = QuerySession(make_join(200, "cb"))
+        session.cancel("never mind")
+        assert session.step() is False
+        assert session.state is SessionState.CANCELLED
+        assert session.error == "never mind"
+
+    def test_cancel_mid_flight(self):
+        session = QuerySession(make_join(800, "cm"), quantum_rows=16)
+        assert session.step()
+        assert session.step()
+        session.cancel()
+        assert session.step() is False
+        assert session.state is SessionState.CANCELLED
+        snap = session.snapshot()
+        assert snap.state == "cancelled"
+        # A mid-flight cancel must not read as complete.
+        assert snap.progress < 1.0
+
+    def test_timeout_cancels(self):
+        session = QuerySession(
+            make_join(400, "t"), quantum_rows=16, timeout_s=1e-9
+        )
+        drive(session)  # deadline trips at the first step boundary past it
+        assert session.state is SessionState.CANCELLED
+        assert "deadline exceeded" in session.error
+
+    def test_cancelled_session_reports_zero_remaining_work(self):
+        session = QuerySession(make_join(300, "r"), quantum_rows=16)
+        session.step()
+        session.cancel()
+        session.step()
+        assert session.remaining_work() == 0.0
+
+
+class TestFailure:
+    def test_fetch_error_fails_session(self):
+        class ExplodingScan(SeqScan):
+            def next_batch(self, max_rows):
+                raise ZeroDivisionError("boom")
+
+        plan = ExplodingScan(customer_variant(1.0, 50, 0, 100, name="fx"))
+        session = QuerySession(plan, quantum_rows=16)
+        assert session.step() is False
+        assert session.state is SessionState.FAILED
+        assert "ZeroDivisionError" in session.error
+        assert session.finished
+
+    def test_terminal_states_cover_enum(self):
+        assert TERMINAL_STATES == {
+            SessionState.FINISHED,
+            SessionState.CANCELLED,
+            SessionState.FAILED,
+        }
+
+
+class TestValidation:
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ValueError):
+            QuerySession(make_join(10, "v1"), quantum_rows=0)
+
+    def test_rejects_bad_row_cap(self):
+        with pytest.raises(ValueError):
+            QuerySession(make_join(10, "v2"), row_cap=-1)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            QuerySession(make_join(10, "v3"), timeout_s=0)
+
+    def test_remaining_work_primes_from_estimates(self):
+        session = QuerySession(make_join(300, "p"))
+        assert session.remaining_work() > 0.0
