@@ -1,0 +1,258 @@
+"""Monitoring overhead under batched execution (perf-regression guard).
+
+Measures wall-clock for one monitored hash-join pipeline (scan -> filter ->
+hash join with a ONCE chain estimator attached by :class:`ProgressMonitor`)
+against the identical unmonitored plan, under row-at-a-time and
+batch_size=1024 execution, and writes machine-readable JSON to
+``benchmarks/results/BENCH_perf.json`` (committed, and uploaded as a CI
+artifact).
+
+Three properties are guarded:
+
+* **Batch-aggregated estimator updates pay off** — the monitored pipeline at
+  batch_size=1024 must run at least ``MIN_MONITOR_SPEEDUP``x faster than the
+  monitored per-tuple path. A ``row-hooks-1024`` config (estimator hooks
+  wrapped in plain per-row closures so the batch twins are invisible)
+  isolates how much of that comes from the Counter-aggregated updates rather
+  than the batched pull loop alone.
+* **Monitoring stays cheap** — the monitored/unmonitored wall-clock ratio at
+  batch_size=1024 is recorded; CI re-runs the bench and fails if the fresh
+  ratio exceeds the committed baseline by more than ``GUARD_FACTOR`` (25%,
+  plus a small absolute slack for timer noise):
+  ``python benchmarks/bench_monitor_overhead.py --check-against
+  benchmarks/results/BENCH_perf.json``.
+* **Operators stay dict-free** — every operator in the plan uses
+  ``__slots__`` (no per-instance ``__dict__``); the payload records measured
+  per-plan instance memory so slot regressions show up in review.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_monitor_overhead.py
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_monitor_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.progress import ProgressMonitor
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine
+from repro.executor.expressions import col, lit
+from repro.executor.operators import Filter, HashJoin, SeqScan
+from repro.executor.plan import walk
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_perf.json"
+
+BUILD_ROWS = 10_000
+PROBE_ROWS = 120_000
+DOMAIN = 200
+FILTER_CUTOFF = DOMAIN // 2 + 1  # ~50% selectivity on a uniform key
+BATCH = 1024
+BEST_OF = 5
+
+#: Acceptance: monitored batch-1024 vs monitored row-at-a-time.
+MIN_MONITOR_SPEEDUP = 2.0
+#: CI guard: fresh overhead ratio may exceed the committed baseline by 25%…
+GUARD_FACTOR = 1.25
+#: …plus this absolute slack (ratios sit near 1.0; shields timer noise).
+GUARD_SLACK = 0.05
+#: Overhead below this is acceptable outright — protects against a
+#: committed baseline that happened to catch an unrepresentatively fast
+#: monitored run, which would otherwise make the relative guard hair-trigger.
+GUARD_FLOOR = 1.30
+
+#: (label, monitored, batch_size, force_row_hooks)
+CONFIGS = [
+    ("unmonitored-row", False, None, False),
+    ("unmonitored-1024", False, BATCH, False),
+    ("monitored-row", True, None, False),
+    ("monitored-1024", True, BATCH, False),
+    ("row-hooks-1024", True, BATCH, True),
+]
+
+_TABLES: tuple | None = None
+
+
+def _tables():
+    global _TABLES
+    if _TABLES is None:
+        _TABLES = (
+            customer_variant(z=0.0, domain_size=DOMAIN, variant=0,
+                             num_rows=BUILD_ROWS, name="mb"),
+            customer_variant(z=0.0, domain_size=DOMAIN, variant=1,
+                             num_rows=PROBE_ROWS, name="mp"),
+        )
+    return _TABLES
+
+
+def _make_plan() -> HashJoin:
+    build, probe = _tables()
+    filtered = Filter(SeqScan(probe), col("mp.nationkey") < lit(FILTER_CUTOFF))
+    # num_partitions=1 keeps the join in memory: the bench isolates hook
+    # and pull-loop overhead, not spill I/O.
+    return HashJoin(SeqScan(build), filtered, "mb.nationkey", "mp.nationkey",
+                    num_partitions=1)
+
+
+def _strip_batch_twins(plan: HashJoin) -> None:
+    """Wrap every estimator hook in a plain closure so ``batch_hook_of``
+    finds no twin: batched execution then replays hooks per row — the
+    pre-batch-aggregation behaviour, at the same batch size."""
+    for hook_list in (plan.build_hooks, plan.probe_hooks):
+        hook_list[:] = [
+            (lambda key, row, _hook=hook: _hook(key, row)) for hook in hook_list
+        ]
+
+
+def _measure_once(monitored: bool, batch_size: int | None, force_row_hooks: bool) -> float:
+    plan = _make_plan()
+    if monitored:
+        ProgressMonitor(plan, mode="once")
+        if force_row_hooks:
+            _strip_batch_twins(plan)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        ExecutionEngine(plan, collect_rows=False).run(batch_size=batch_size)
+        return time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+def _measure_all() -> dict[str, float]:
+    """Best-of-``BEST_OF`` per config, measured round-robin: each repetition
+    visits every config once, so slow drift (CPU frequency, container
+    scheduling) spreads evenly across configs instead of skewing whichever
+    one was measured last."""
+    best = {label: float("inf") for label, *_ in CONFIGS}
+    for _ in range(BEST_OF):
+        for label, monitored, batch_size, force_row_hooks in CONFIGS:
+            wall = _measure_once(monitored, batch_size, force_row_hooks)
+            best[label] = min(best[label], wall)
+    return best
+
+
+def _slots_report() -> dict:
+    plan = _make_plan()
+    ops = list(walk(plan))
+    with_dict = [type(op).__name__ for op in ops if hasattr(op, "__dict__")]
+    return {
+        "operators": len(ops),
+        "operators_with_dict": sorted(set(with_dict)),
+        "plan_instance_bytes": sum(sys.getsizeof(op) for op in ops),
+    }
+
+
+def run_bench() -> dict:
+    walls = _measure_all()
+    configs = [
+        {
+            "label": label,
+            "monitored": monitored,
+            "batch_size": batch_size,
+            "wall_s": round(walls[label], 4),
+        }
+        for label, monitored, batch_size, force_row_hooks in CONFIGS
+    ]
+    by_label = {c["label"]: c for c in configs}
+    payload = {
+        "benchmark": "monitor_overhead",
+        "plan": "seq_scan -> filter(~50%) -> hash_join (in-memory, ONCE chain attached)",
+        "build_rows": BUILD_ROWS,
+        "probe_rows": PROBE_ROWS,
+        "configs": configs,
+        "monitored_speedup_1024_vs_row": round(
+            by_label["monitored-row"]["wall_s"] / by_label["monitored-1024"]["wall_s"], 2
+        ),
+        "batch_hook_speedup_vs_row_hooks": round(
+            by_label["row-hooks-1024"]["wall_s"] / by_label["monitored-1024"]["wall_s"], 2
+        ),
+        "overhead_ratio_1024": round(
+            by_label["monitored-1024"]["wall_s"] / by_label["unmonitored-1024"]["wall_s"], 3
+        ),
+        "overhead_ratio_row": round(
+            by_label["monitored-row"]["wall_s"] / by_label["unmonitored-row"]["wall_s"], 3
+        ),
+        "min_monitor_speedup_required": MIN_MONITOR_SPEEDUP,
+        "slots": _slots_report(),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_against(payload: dict, baseline: dict) -> tuple[bool, str]:
+    """Perf guard: fresh monitored/unmonitored overhead at batch_size=1024
+    must not exceed the committed baseline by more than GUARD_FACTOR."""
+    base_ratio = baseline["overhead_ratio_1024"]
+    fresh_ratio = payload["overhead_ratio_1024"]
+    allowed = max(base_ratio * GUARD_FACTOR + GUARD_SLACK, GUARD_FLOOR)
+    ok = fresh_ratio <= allowed
+    verdict = "PASS" if ok else "FAIL"
+    return ok, (
+        f"{verdict}: overhead ratio at batch={BATCH} is {fresh_ratio} "
+        f"(baseline {base_ratio}, allowed <= {round(allowed, 3)})"
+    )
+
+
+def test_monitor_overhead(report):
+    payload = run_bench()
+    report.table(
+        ["config", "wall_s"],
+        [[c["label"], c["wall_s"]] for c in payload["configs"]],
+        widths=[20, 10],
+    )
+    report.line(f"monitored 1024 vs row:      {payload['monitored_speedup_1024_vs_row']}x")
+    report.line(f"batch hooks vs row hooks:   {payload['batch_hook_speedup_vs_row_hooks']}x")
+    report.line(f"overhead ratio @1024:       {payload['overhead_ratio_1024']}")
+    report.line(f"overhead ratio @row:        {payload['overhead_ratio_row']}")
+    report.line(f"json: {RESULTS_PATH}")
+    assert payload["monitored_speedup_1024_vs_row"] >= MIN_MONITOR_SPEEDUP, payload
+    assert payload["slots"]["operators_with_dict"] == [], payload["slots"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE_JSON",
+        help="compare the fresh overhead ratio against a committed baseline "
+        "and exit non-zero on regression",
+    )
+    args = parser.parse_args(argv)
+    # Parse the baseline up front: run_bench() rewrites BENCH_perf.json, and
+    # the committed copy is the usual --check-against target.
+    baseline = (
+        json.loads(Path(args.check_against).read_text()) if args.check_against else None
+    )
+
+    payload = run_bench()
+    print(json.dumps(payload, indent=2))
+    ok = payload["monitored_speedup_1024_vs_row"] >= MIN_MONITOR_SPEEDUP
+    print(
+        f"{'PASS' if ok else 'FAIL'}: monitored batch-{BATCH} is "
+        f"{payload['monitored_speedup_1024_vs_row']}x the monitored per-tuple "
+        f"path (need >= {MIN_MONITOR_SPEEDUP}x)"
+    )
+    if payload["slots"]["operators_with_dict"]:
+        ok = False
+        print(f"FAIL: operators regained __dict__: {payload['slots']['operators_with_dict']}")
+    if baseline is not None:
+        guard_ok, message = check_against(payload, baseline)
+        print(message)
+        ok = ok and guard_ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,13 @@ someone writes new code:
   from a concrete ancestor) ``op_name``, ``children`` and
   ``output_schema``. The analyzer, EXPLAIN and pipeline decomposition all
   dispatch on these.
+* **R005** — no per-row estimator hook call (``on_build`` / ``on_probe`` /
+  ``observe``) inside a loop of a ``_next_batch`` drain. Batch drains must
+  aggregate estimator updates through the batch-hook twins
+  (``make_batch_dispatch``); a hand-written per-row call there silently
+  reinstates the per-tuple overhead the batch path exists to amortise.
+  ``operators/base.py`` is exempt: the generic ``Operator`` fallback is the
+  one sanctioned place where batch execution degrades to per-row hooks.
 
 The engine parses every file once, builds a cross-module class registry so
 inheritance resolves through intermediate bases (``SampleScan -> SeqScan``,
@@ -48,6 +55,8 @@ RULES: dict[str, str] = {
     "R002": "random/numpy.random are forbidden outside repro.common.rng",
     "R003": "bare `except:` clauses are forbidden",
     "R004": "Operator subclasses must declare op_name, children and output_schema",
+    "R005": "per-row estimator hooks (on_build/on_probe/observe) are forbidden "
+    "inside _next_batch loops; use the batch-hook twins",
 }
 
 #: The one module allowed to touch raw RNG constructors.
@@ -315,6 +324,47 @@ def _rule_r003(tree: ast.Module, path: str) -> list[Violation]:
     ]
 
 
+#: Estimator hook names whose per-row form is banned from batch drains.
+_PER_ROW_HOOKS = ("observe", "on_build", "on_probe")
+
+#: The generic Operator fallback (operators/base.py) legitimately replays
+#: row hooks per tuple when an operator has no native batch drain.
+_R005_EXEMPT_SUFFIX = ("executor", "operators", "base.py")
+
+
+def _rule_r005(tree: ast.Module, path: str) -> list[Violation]:
+    """Per-row estimator hook calls inside ``_next_batch`` drain loops."""
+    if Path(path).parts[-3:] == _R005_EXEMPT_SUFFIX:
+        return []
+    flagged: set[tuple[int, str]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name != "_next_batch":
+            continue
+        for loop in ast.walk(node):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for call in ast.walk(loop):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _PER_ROW_HOOKS
+                ):
+                    flagged.add((call.lineno, call.func.attr))
+    return [
+        Violation(
+            "R005",
+            path,
+            line,
+            f"per-row {attr}() call in a _next_batch loop; batch drains must "
+            "aggregate estimator updates via the batch-hook twins "
+            "(operators.base.make_batch_dispatch)",
+        )
+        for line, attr in sorted(flagged)
+    ]
+
+
 def _rule_r004(registry: _Registry) -> list[Violation]:
     """Concrete Operator subclasses missing required declarations."""
     violations: list[Violation] = []
@@ -363,7 +413,12 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
             continue
         modules.append((tree, str(file)))
         registry.add_module(tree, str(file))
-    per_module = {"R001": _rule_r001, "R002": _rule_r002, "R003": _rule_r003}
+    per_module = {
+        "R001": _rule_r001,
+        "R002": _rule_r002,
+        "R003": _rule_r003,
+        "R005": _rule_r005,
+    }
     for tree, path in modules:
         for rule_id, rule in per_module.items():
             if rule_id in selected:
@@ -376,7 +431,7 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Codebase invariant lint (rules R001-R004)",
+        description="Codebase invariant lint (rules R001-R005)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

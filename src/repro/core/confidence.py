@@ -50,7 +50,7 @@ def proportion_interval(
     return (max(p_hat - half, 0.0), min(p_hat + half, 1.0))
 
 
-@dataclass
+@dataclass(slots=True)
 class MeanEstimateInterval:
     """Online normal interval for ``scale × mean(X_1..X_t)``.
 
@@ -67,6 +67,20 @@ class MeanEstimateInterval:
         self.count += 1
         self.sum_x += x
         self.sum_x_sq += x * x
+
+    def merge_sums(self, count: int, sum_x: float, sum_x_sq: float) -> None:
+        """Fold in the sufficient statistics (k, Σx, Σx²) of a batch.
+
+        For the integer-valued contribution streams the join estimators
+        feed (every x is a key multiplicity), this is *bit-identical* to k
+        :meth:`observe` calls regardless of order: every partial sum is an
+        integer below 2^53, so each float addition is exact and grouping
+        terms cannot change the result. The resulting interval endpoints
+        therefore match the per-tuple path exactly, not just to tolerance.
+        """
+        self.count += count
+        self.sum_x += sum_x
+        self.sum_x_sq += sum_x_sq
 
     @property
     def mean(self) -> float:

@@ -42,7 +42,8 @@ threshold τ (=10 in the paper): γ² < τ selects MLE, otherwise GEE.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections import Counter
+from typing import Callable, Sequence
 
 from repro.common.stats import IncrementalFrequencyStats
 from repro.core.histogram import FrequencyHistogram
@@ -67,6 +68,8 @@ class GroupFrequencyState:
     state can be fed by a simulated join output (aggregation push-down).
     """
 
+    __slots__ = ("histogram", "moments")
+
     def __init__(self) -> None:
         self.histogram = FrequencyHistogram(track_frequencies=True)
         self.moments = IncrementalFrequencyStats()
@@ -83,6 +86,30 @@ class GroupFrequencyState:
             moments.sum_freq_sq += 2 * old + 1
         else:
             moments.observe_transition(old, old + weight)
+
+    def observe_batch(self, values: Sequence[object]) -> None:
+        """Counter-aggregated unit observations (one per value).
+
+        One histogram update and one moment transition per *distinct*
+        value: the weighted transition ``old -> old + w`` nets the same
+        num_groups / Σf / Σf² deltas as the w unit steps, and everything is
+        integer arithmetic, so the end state is identical to calling
+        :meth:`observe` once per value. None is a legitimate group key here
+        (NULL groups aggregate), unlike in the join histograms.
+        """
+        moments = self.moments
+        add = self.histogram.add
+        new_groups = 0
+        sq_delta = 0
+        for value, weight in Counter(values).items():
+            old = add(value, weight)
+            if old == 0:
+                new_groups += 1
+            new = old + weight
+            sq_delta += new * new - old * old
+        moments.num_groups += new_groups
+        moments.sum_freq += len(values)
+        moments.sum_freq_sq += sq_delta
 
     @property
     def t(self) -> int:
@@ -107,6 +134,7 @@ class GEEEstimator:
     """Guaranteed Error Estimator, O(1) per query (Algorithm 2)."""
 
     name = "gee"
+    __slots__ = ("state",)
 
     def __init__(self, state: GroupFrequencyState):
         self.state = state
@@ -126,6 +154,7 @@ class MLEEstimator:
     reconstruction notes). O(#distinct frequencies) per evaluation."""
 
     name = "mle"
+    __slots__ = ("state",)
 
     def __init__(self, state: GroupFrequencyState):
         self.state = state
@@ -163,6 +192,8 @@ class RecomputeScheduler:
     stability:
         k: relative difference under which the interval doubles (paper: 1%).
     """
+
+    __slots__ = ("lower", "upper", "stability", "interval", "recompute_count")
 
     def __init__(self, lower: int, upper: int, stability: float = 0.01):
         if lower < 1 or upper < lower:
@@ -211,6 +242,19 @@ class HybridGroupCountEstimator:
         observed tuples.
     """
 
+    __slots__ = (
+        "state",
+        "gee",
+        "mle",
+        "tau",
+        "_total",
+        "scheduler",
+        "_cached_mle",
+        "exact",
+        "record_every",
+        "history",
+    )
+
     def __init__(
         self,
         total: float | TotalProvider,
@@ -254,10 +298,52 @@ class HybridGroupCountEstimator:
         if self.record_every and t % self.record_every == 0:
             self.history.append((t, self.estimate()))
 
+    def observe_batch(self, values: Sequence[object]) -> None:
+        """Feed a batch of unit-weight grouping values in one shot.
+
+        Segments the batch at every recomputation and ``record_every``
+        boundary it jumps over, applying each segment as one aggregated
+        :meth:`GroupFrequencyState.observe_batch` and firing the boundary
+        actions (MLE recompute + scheduler adaptation, history checkpoint)
+        at exactly the t the per-tuple path would — the scheduler's
+        interval adapts after every recompute, so the next boundary is
+        re-derived inside the loop. End state (histogram, moments, cached
+        MLE, scheduler interval, history) is identical to one
+        :meth:`observe` call per value.
+        """
+        n = len(values)
+        if not n:
+            return
+        state = self.state
+        scheduler = self.scheduler
+        rec = self.record_every
+        start = 0
+        while start < n:
+            t = state.histogram.total
+            step = scheduler.interval - t % scheduler.interval
+            if rec:
+                step = min(step, rec - t % rec)
+            end = min(n, start + step)
+            state.observe_batch(values if not start and end == n else values[start:end])
+            t = state.histogram.total
+            if t % scheduler.interval == 0:
+                old = self._cached_mle
+                self._cached_mle = self.mle.estimate(self.total)
+                scheduler.after_recompute(old, self._cached_mle)
+            if rec and t % rec == 0:
+                self.history.append((t, self.estimate()))
+            start = end
+
     def observe_hook(self, key: object, _row: tuple) -> None:
         """(key, row) adapter for operator input hooks — avoids a lambda
         frame per tuple on the hot path."""
         self.observe(key)
+
+    def observe_hook_batch(self, keys: Sequence[object], _rows: Sequence[tuple]) -> None:
+        """Batch twin of :meth:`observe_hook` (see operators.base)."""
+        self.observe_batch(keys)
+
+    observe_hook.batch_hook_name = "observe_hook_batch"
 
     def finalize(self) -> None:
         """The whole input has been seen: the group count is exact."""

@@ -21,6 +21,7 @@ to x1 by N_{y1}^A", and the aggregation push-down builds a histogram of the
 from __future__ import annotations
 
 import sys
+from collections import Counter
 from typing import Iterable, Iterator
 
 __all__ = ["BucketizedHistogram", "FrequencyHistogram"]
@@ -77,6 +78,32 @@ class FrequencyHistogram:
     def add_many(self, values: Iterable[object]) -> None:
         for v in values:
             self.add(v)
+
+    def add_batch(self, values: Iterable[object]) -> None:
+        """Counter-aggregated bulk increment: one unit per non-None value.
+
+        Ends in exactly the state of one :meth:`add` per value — the
+        weighted fof transition ``old -> old + w`` is the composition of
+        the ``w`` unit transitions — but does one dict update per
+        *distinct* value. None values are skipped, matching the build-hook
+        convention that NULL keys never join; feed key lists straight from
+        a batch drain.
+        """
+        agg = Counter(values)
+        agg.pop(None, None)
+        if not agg:
+            return
+        if self.track_frequencies:
+            for value, weight in agg.items():
+                self.add(value, weight)
+            return
+        counts = self.counts
+        get = counts.get
+        added = 0
+        for value, weight in agg.items():
+            counts[value] = get(value, 0) + weight
+            added += weight
+        self.total += added
 
     # -- queries ------------------------------------------------------------------
 
@@ -184,6 +211,19 @@ class BucketizedHistogram:
         self.buckets[idx] = old + weight
         self.total += weight
         return old
+
+    def add_batch(self, values: Iterable[object]) -> None:
+        """Bulk increment, one bucket update per distinct non-None value
+        (same skip-None convention as :meth:`FrequencyHistogram.add_batch`)."""
+        buckets = self.buckets
+        num_buckets = self.num_buckets
+        added = 0
+        for value, weight in Counter(values).items():
+            if value is None:
+                continue
+            buckets[hash(value) % num_buckets] += weight
+            added += weight
+        self.total += added
 
     def count(self, value: object) -> int:
         """Upper bound on the frequency of ``value``."""

@@ -20,7 +20,8 @@ cardinality — *before* any actual joining has happened.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import Counter
+from typing import Callable, Sequence
 
 from repro.common.errors import EstimationError
 from repro.core.confidence import MeanEstimateInterval, binomial_beta
@@ -106,6 +107,18 @@ class OnceJoinEstimator:
         :class:`repro.core.histogram.BucketizedHistogram`).
     """
 
+    __slots__ = (
+        "join_type",
+        "histogram",
+        "sum_counts",
+        "t",
+        "exact",
+        "record_every",
+        "history",
+        "_interval",
+        "_probe_total",
+    )
+
     def __init__(
         self,
         probe_total: float | TotalProvider | None = None,
@@ -146,6 +159,57 @@ class OnceJoinEstimator:
         self._interval.observe(c)
         if self.record_every and self.t % self.record_every == 0:
             self.history.append((self.t, self.current_estimate()))
+
+    # -- batch twins (see operators.base, "Batch-aggregated hooks") ---------------
+
+    def on_build_batch(self, keys: Sequence[object], rows: Sequence | None = None) -> None:
+        """A build-side batch: count every non-None key in one bulk add."""
+        self.histogram.add_batch(keys)
+
+    def on_probe_batch(self, keys: Sequence[object], rows: Sequence | None = None) -> None:
+        """A probe-side batch: refine the estimate in one aggregated step.
+
+        The running-mean refinement only needs Σc and t, so the batch is
+        aggregated with one Counter and applied as ``sum_counts += Σc_i,
+        t += k`` — one histogram lookup per *distinct* key. All sums are
+        integer arithmetic, so the resulting (t, sum_counts, interval)
+        state is bit-identical to k :meth:`on_probe` calls. When
+        ``record_every`` is set, the batch is split at every checkpoint
+        boundary it jumps over (mirroring ``tick_n``'s boundary semantics)
+        so history entries land on exactly the same t values, computed from
+        exactly the per-tuple prefix state.
+        """
+        n = len(keys)
+        if not n:
+            return
+        rec = self.record_every
+        if not rec:
+            self._apply_probe_batch(keys)
+            return
+        start = 0
+        while start < n:
+            end = min(n, start + rec - self.t % rec)
+            segment = keys if not start and end == n else keys[start:end]
+            self._apply_probe_batch(segment)
+            if self.t % rec == 0:
+                self.history.append((self.t, self.current_estimate()))
+            start = end
+
+    def _apply_probe_batch(self, keys: Sequence[object]) -> None:
+        contribution = self._contribution
+        batch_sum = 0
+        batch_sq = 0
+        for key, count in Counter(keys).items():
+            c = contribution(key)
+            if c:
+                batch_sum += c * count
+                batch_sq += c * c * count
+        self.t += len(keys)
+        self.sum_counts += batch_sum
+        self._interval.merge_sums(len(keys), batch_sum, batch_sq)
+
+    on_build.batch_hook_name = "on_build_batch"
+    on_probe.batch_hook_name = "on_probe_batch"
 
     def _contribution(self, key: object) -> int:
         """Output rows this probe tuple generates, under the join type."""

@@ -43,8 +43,10 @@ manager attaches to every hash join.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Callable
+from operator import itemgetter
+from typing import Callable, Sequence
 
 from repro.common.errors import EstimationError
 from repro.core.confidence import MeanEstimateInterval
@@ -93,7 +95,7 @@ def find_hash_join_chains(root: Operator) -> list[list[HashJoin]]:
     return chains
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _Provenance:
     """Where a join's probe key column comes from."""
 
@@ -131,6 +133,31 @@ class HashJoinChainEstimator:
         For chain shapes outside the framework: multi-column chain keys or
         probe keys whose provenance cannot be resolved.
     """
+
+    __slots__ = (
+        "chain",
+        "k",
+        "base_stream",
+        "_c_schema",
+        "_probe_total",
+        "provenance",
+        "refs",
+        "breakpoints",
+        "base_hists",
+        "derived",
+        "_level_factors",
+        "_combo_cols",
+        "_combo_extract",
+        "_level_factor_slots",
+        "t",
+        "sums",
+        "exact",
+        "frozen",
+        "record_every",
+        "history",
+        "_intervals",
+        "output_listeners",
+    )
 
     def __init__(
         self,
@@ -209,6 +236,25 @@ class HashJoinChainEstimator:
                 if self.provenance[m].kind == "C"
             ]
             self._level_factors.append(factors)
+
+        # Batch aggregation: a probe tuple's per-level contributions depend
+        # only on the C columns the factor tables read, so a batch can be
+        # aggregated by that column combination — one factor-product per
+        # *distinct* combo instead of per row.
+        combo_cols = sorted({col for factors in self._level_factors for col, _ in factors})
+        self._combo_cols = combo_cols
+        if not combo_cols:
+            self._combo_extract = None  # every level is an empty product (=1)
+        elif len(combo_cols) == 1:
+            only = combo_cols[0]
+            self._combo_extract = lambda row: (row[only],)
+        else:
+            self._combo_extract = itemgetter(*combo_cols)
+        position = {col: pos for pos, col in enumerate(combo_cols)}
+        self._level_factor_slots = [
+            [(position[col], hist) for col, hist in factors]
+            for factors in self._level_factors
+        ]
 
         # Estimation state.
         self.t: int = 0
@@ -304,6 +350,51 @@ class HashJoinChainEstimator:
             for col_idx, listener in self.output_listeners:
                 listener(row[col_idx], c)
 
+    def _on_probe_single_batch(self, keys: Sequence[object], rows: Sequence[tuple]) -> None:
+        """Batch twin of :meth:`_on_probe_single` (k == 1 fast path).
+
+        Pushed-down aggregation listeners need the per-tuple (value,
+        contribution) stream in row order, so with listeners attached the
+        batch degrades to the per-row loop; otherwise one Counter over the
+        keys applies the whole batch, split at ``record_every`` boundaries
+        so checkpoints land on the per-tuple t values.
+        """
+        if self.frozen:
+            return
+        if self.output_listeners:
+            on_row = self._on_probe_single
+            for key, row in zip(keys, rows):
+                on_row(key, row)
+            return
+        n = len(keys)
+        if not n:
+            return
+        rec = self.record_every
+        if not rec:
+            self._apply_single_batch(keys)
+            return
+        start = 0
+        while start < n:
+            end = min(n, start + rec - self.t % rec)
+            self._apply_single_batch(keys if not start and end == n else keys[start:end])
+            if self.t % rec == 0:
+                self.history[0].append((self.t, self.estimate_level(0)))
+            start = end
+
+    def _apply_single_batch(self, keys: Sequence[object]) -> None:
+        get = self.base_hists[0].counts.get
+        batch_sum = 0
+        batch_sq = 0
+        for key, count in Counter(keys).items():
+            c = get(key, 0)
+            if c:
+                batch_sum += c * count
+                batch_sq += c * c * count
+        n = len(keys)
+        self.t += n
+        self.sums[0] += batch_sum
+        self._intervals[0].merge_sums(n, batch_sum, batch_sq)
+
     def _make_build_hook(self, m: int):
         base_hist = self.base_hists[m]
         breakpoints = self.breakpoints.get(m, [])
@@ -311,6 +402,10 @@ class HashJoinChainEstimator:
             def build_hook(key: object, row: tuple) -> None:
                 if key is not None:
                     base_hist.add(key)
+
+            # Plain histogram builds aggregate per batch; derived-histogram
+            # builds (below) read row columns per tuple and stay per-row.
+            build_hook.batch_hook = lambda keys, rows: base_hist.add_batch(keys)
             return build_hook
 
         # For each breakpoint version: which folded joins contribute, read
@@ -367,6 +462,73 @@ class HashJoinChainEstimator:
         if top_contrib and self.output_listeners:
             for col_idx, listener in self.output_listeners:
                 listener(row[col_idx], top_contrib)
+
+    def _on_probe_batch(self, keys: Sequence[object], rows: Sequence[tuple]) -> None:
+        """Batch twin of :meth:`_on_probe` (chains of length > 1).
+
+        Aggregates the batch by the distinct combinations of the C columns
+        the factor tables read, computing each level's factor product once
+        per combo. Integer arithmetic throughout, so state is bit-identical
+        to the per-row path; listener and record_every handling mirror
+        :meth:`_on_probe_single_batch`.
+        """
+        if self.frozen:
+            return
+        if self.output_listeners:
+            on_row = self._on_probe
+            for key, row in zip(keys, rows):
+                on_row(key, row)
+            return
+        n = len(rows)
+        if not n:
+            return
+        rec = self.record_every
+        if not rec:
+            self._apply_chain_batch(rows)
+            return
+        start = 0
+        while start < n:
+            end = min(n, start + rec - self.t % rec)
+            self._apply_chain_batch(rows if not start and end == n else rows[start:end])
+            if self.t % rec == 0:
+                t = self.t
+                for i in range(self.k):
+                    self.history[i].append((t, self.estimate_level(i)))
+            start = end
+
+    def _apply_chain_batch(self, rows: Sequence[tuple]) -> None:
+        k = self.k
+        n = len(rows)
+        sums_delta = [0] * k
+        sq_delta = [0] * k
+        extract = self._combo_extract
+        if extract is None:
+            # No level reads any C column: every contribution is the empty
+            # product, 1 per tuple at every level.
+            for i in range(k):
+                sums_delta[i] = n
+                sq_delta[i] = n
+        else:
+            factor_slots = self._level_factor_slots
+            for combo, count in Counter(map(extract, rows)).items():
+                for i in range(k):
+                    contrib = 1
+                    for pos, hist in factor_slots[i]:
+                        c = hist.counts.get(combo[pos], 0)
+                        if not c:
+                            contrib = 0
+                            break
+                        contrib *= c
+                    if contrib:
+                        sums_delta[i] += contrib * count
+                        sq_delta[i] += contrib * contrib * count
+        self.t += n
+        for i in range(k):
+            self.sums[i] += sums_delta[i]
+            self._intervals[i].merge_sums(n, sums_delta[i], sq_delta[i])
+
+    _on_probe_single.batch_hook_name = "_on_probe_single_batch"
+    _on_probe.batch_hook_name = "_on_probe_batch"
 
     def _on_bottom_phase(self, _op: Operator, phase: str) -> None:
         if self.frozen:

@@ -6,6 +6,23 @@ expression is *bound* to a schema, producing a plain Python closure
 ``row -> value``; binding resolves column names to tuple positions once, so
 per-row evaluation does no name lookups — important because predicates run
 inside the executor's innermost loops.
+
+Batch kernels
+-------------
+``bind`` still pays one Python call per tree node per row. For the batch
+execution path each node can additionally render itself as a Python *source
+fragment* over a ``row`` variable (:meth:`Expression.source`), and
+:func:`compile_predicate_kernel` / :func:`compile_projection_kernel` splice
+those fragments into a single list-comprehension lambda — one bytecode
+object evaluating a whole batch with zero per-row Python calls. The
+fragments are generated from the same operator tables ``bind`` uses
+(``=`` → ``==``, ``/`` → true division, ``AND`` → short-circuit on
+truthiness, ``IN`` → frozenset membership, ``BETWEEN`` → one chained
+comparison evaluating the operand once), so a kernel is semantically
+identical to mapping the bound closure over the batch. Nodes that cannot
+render source (user-defined subclasses) make the compilers return None and
+callers keep the bound-closure path — compilation is an optimization, never
+a requirement.
 """
 
 from __future__ import annotations
@@ -13,7 +30,7 @@ from __future__ import annotations
 import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.storage.schema import Schema
 
@@ -30,6 +47,8 @@ __all__ = [
     "Not",
     "Or",
     "col",
+    "compile_predicate_kernel",
+    "compile_projection_kernel",
     "lit",
 ]
 
@@ -51,6 +70,19 @@ _ARITHMETIC: dict[str, Callable] = {
     "/": operator.truediv,
 }
 
+#: SQL spelling -> Python source spelling; every entry maps to exactly the
+#: operator-module function ``bind`` uses for the same key.
+_COMPARISON_SOURCE: dict[str, str] = {
+    "=": "==",
+    "==": "==",
+    "!=": "!=",
+    "<>": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
 
 class Expression(ABC):
     """Base class for scalar expressions."""
@@ -62,6 +94,19 @@ class Expression(ABC):
     @abstractmethod
     def referenced_columns(self) -> frozenset[str]:
         """Names of all columns this expression reads."""
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        """Render this node as a Python source fragment over ``row``.
+
+        Values that cannot be spelled as literals are registered in ``ctx``
+        (name -> value) and referenced by name; ``ctx`` becomes the globals
+        of the compiled kernel. Subclasses that cannot render themselves
+        leave this default, which signals the kernel compilers to fall back
+        to the bound-closure path.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support source compilation"
+        )
 
     # Operator sugar so predicates read naturally:
     # col("a") == lit(3), (col("a") > 1) & (col("b") < 2)
@@ -112,6 +157,23 @@ def _as_expr(value: object) -> Expression:
     return value if isinstance(value, Expression) else Const(value)
 
 
+def _value_source(value: object, ctx: dict[str, object]) -> str:
+    """Spell ``value`` as a source fragment, via ``ctx`` when repr() does
+    not round-trip (inf/nan floats, arbitrary objects)."""
+    if value is None or value is True or value is False:
+        return repr(value)
+    if isinstance(value, (int, str, bytes)):
+        return repr(value)
+    if isinstance(value, float) and value == value and value not in (
+        float("inf"),
+        float("-inf"),
+    ):
+        return repr(value)
+    name = f"_c{len(ctx)}"
+    ctx[name] = value
+    return name
+
+
 @dataclass(frozen=True, eq=False)
 class Col(Expression):
     """Reference to a column by (optionally qualified) name."""
@@ -121,6 +183,9 @@ class Col(Expression):
     def bind(self, schema: Schema) -> Callable[[tuple], object]:
         idx = schema.index_of(self.name)
         return lambda row: row[idx]
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        return f"row[{schema.index_of(self.name)}]"
 
     def referenced_columns(self) -> frozenset[str]:
         return frozenset({self.name})
@@ -138,6 +203,9 @@ class Const(Expression):
     def bind(self, schema: Schema) -> Callable[[tuple], object]:
         value = self.value
         return lambda row: value
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        return _value_source(self.value, ctx)
 
     def referenced_columns(self) -> frozenset[str]:
         return frozenset()
@@ -164,6 +232,11 @@ class Comparison(Expression):
         rhs = self.right.bind(schema)
         return lambda row: fn(lhs(row), rhs(row))
 
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        lhs = self.left.source(schema, ctx)
+        rhs = self.right.source(schema, ctx)
+        return f"({lhs} {_COMPARISON_SOURCE[self.op]} {rhs})"
+
     def referenced_columns(self) -> frozenset[str]:
         return self.left.referenced_columns() | self.right.referenced_columns()
 
@@ -189,6 +262,11 @@ class BinaryOp(Expression):
         rhs = self.right.bind(schema)
         return lambda row: fn(lhs(row), rhs(row))
 
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        lhs = self.left.source(schema, ctx)
+        rhs = self.right.source(schema, ctx)
+        return f"({lhs} {self.op} {rhs})"
+
     def referenced_columns(self) -> frozenset[str]:
         return self.left.referenced_columns() | self.right.referenced_columns()
 
@@ -205,6 +283,11 @@ class And(Expression):
         lhs = self.left.bind(schema)
         rhs = self.right.bind(schema)
         return lambda row: bool(lhs(row)) and bool(rhs(row))
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        lhs = self.left.source(schema, ctx)
+        rhs = self.right.source(schema, ctx)
+        return f"(bool({lhs}) and bool({rhs}))"
 
     def referenced_columns(self) -> frozenset[str]:
         return self.left.referenced_columns() | self.right.referenced_columns()
@@ -223,6 +306,11 @@ class Or(Expression):
         rhs = self.right.bind(schema)
         return lambda row: bool(lhs(row)) or bool(rhs(row))
 
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        lhs = self.left.source(schema, ctx)
+        rhs = self.right.source(schema, ctx)
+        return f"(bool({lhs}) or bool({rhs}))"
+
     def referenced_columns(self) -> frozenset[str]:
         return self.left.referenced_columns() | self.right.referenced_columns()
 
@@ -237,6 +325,9 @@ class Not(Expression):
     def bind(self, schema: Schema) -> Callable[[tuple], object]:
         inner = self.child.bind(schema)
         return lambda row: not inner(row)
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        return f"(not {self.child.source(schema, ctx)})"
 
     def referenced_columns(self) -> frozenset[str]:
         return self.child.referenced_columns()
@@ -256,6 +347,11 @@ class InList(Expression):
         inner = self.child.bind(schema)
         members = frozenset(self.values)
         return lambda row: inner(row) in members
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        name = f"_c{len(ctx)}"
+        ctx[name] = frozenset(self.values)
+        return f"({self.child.source(schema, ctx)} in {name})"
 
     def referenced_columns(self) -> frozenset[str]:
         return self.child.referenced_columns()
@@ -278,6 +374,14 @@ class Between(Expression):
         low = self.low.bind(schema)
         high = self.high.bind(schema)
         return lambda row: low(row) <= inner(row) <= high(row)
+
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        # A chained comparison evaluates the middle operand exactly once,
+        # matching the single inner(row) call in bind().
+        inner = self.child.source(schema, ctx)
+        low = self.low.source(schema, ctx)
+        high = self.high.source(schema, ctx)
+        return f"({low} <= {inner} <= {high})"
 
     def referenced_columns(self) -> frozenset[str]:
         return (
@@ -303,12 +407,60 @@ class IsNull(Expression):
             return lambda row: inner(row) is not None
         return lambda row: inner(row) is None
 
+    def source(self, schema: Schema, ctx: dict[str, object]) -> str:
+        middle = "is not" if self.negated else "is"
+        return f"({self.child.source(schema, ctx)} {middle} None)"
+
     def referenced_columns(self) -> frozenset[str]:
         return self.child.referenced_columns()
 
     def __repr__(self) -> str:
         middle = "IS NOT NULL" if self.negated else "IS NULL"
         return f"({self.child!r} {middle})"
+
+
+def compile_predicate_kernel(
+    predicate: Expression, schema: Schema
+) -> Callable[[list[tuple]], list[tuple]] | None:
+    """Compile a predicate into a ``batch -> surviving rows`` kernel.
+
+    The kernel is one list comprehension over the rendered source fragment,
+    so a whole batch is filtered with zero per-row Python calls. Returns
+    None when the tree contains a node without source support; callers then
+    fall back to filtering with the bound closure, which is always
+    semantically identical.
+    """
+    ctx: dict[str, object] = {}
+    try:
+        src = predicate.source(schema, ctx)
+    except NotImplementedError:
+        return None
+    namespace = {"__builtins__": {}, "bool": bool, **ctx}
+    return eval(  # noqa: S307 - source is generated, not user input
+        f"lambda batch: [row for row in batch if {src}]", namespace
+    )
+
+
+def compile_projection_kernel(
+    expressions: Sequence[Expression], schema: Schema
+) -> Callable[[list[tuple]], list[tuple]] | None:
+    """Compile projection expressions into a ``batch -> projected rows``
+    kernel building one output tuple per row in a single comprehension.
+
+    Returns None (caller falls back to bound closures) if any expression
+    lacks source support.
+    """
+    ctx: dict[str, object] = {}
+    try:
+        parts = [expr.source(schema, ctx) for expr in expressions]
+    except NotImplementedError:
+        return None
+    # A parenthesized one-element "tuple display" needs the trailing comma.
+    tuple_src = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+    namespace = {"__builtins__": {}, "bool": bool, **ctx}
+    return eval(  # noqa: S307 - source is generated, not user input
+        f"lambda batch: [{tuple_src} for row in batch]", namespace
+    )
 
 
 def col(name: str) -> Col:

@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import islice
+from operator import itemgetter
 from typing import Callable, Iterator, Sequence
 
 from repro.common.errors import PlanError
-from repro.executor.operators.base import Operator
+from repro.executor.operators.base import Operator, make_batch_dispatch
 from repro.storage.schema import Column, ColumnType, Schema
 
 __all__ = ["AggregateSpec", "HashAggregate", "SortAggregate"]
@@ -27,7 +28,7 @@ _SUPPORTED_FUNCS = ("count", "sum", "min", "max", "avg", "count_distinct")
 KeyHook = Callable[[object, tuple], None]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AggregateSpec:
     """One aggregate column: ``func(column) AS alias``.
 
@@ -62,6 +63,17 @@ class _AggregateBase(Operator):
     """Shared machinery for hash and sort aggregation."""
 
     blocking_child_indexes = (0,)
+
+    __slots__ = (
+        "child",
+        "group_by",
+        "aggregates",
+        "input_hooks",
+        "rows_consumed",
+        "groups_seen",
+        "_schema",
+        "_emit_iter",
+    )
 
     def __init__(
         self,
@@ -174,6 +186,18 @@ class _AggregateBase(Operator):
         ]
         return group_idxs, value_idxs
 
+    @staticmethod
+    def _group_key_extractor(group_idxs: list[int]):
+        """Precompiled group-key extractor for batch drains.
+
+        Single-column grouping keys are the bare value, multi-column keys
+        the value tuple — exactly what multi-arg ``itemgetter`` returns, and
+        the same convention the per-row loops use.
+        """
+        if not group_idxs:
+            return lambda row: ()
+        return itemgetter(*group_idxs)
+
     def _consume_and_group(self, consume: int = 1) -> Iterator[tuple]:
         raise NotImplementedError
 
@@ -182,6 +206,7 @@ class HashAggregate(_AggregateBase):
     """Hash-partitioned aggregation."""
 
     op_name = "hash_aggregate"
+    __slots__ = ()
 
     def _consume_and_group(self, consume: int = 1) -> Iterator[tuple]:
         self._set_phase("partition")
@@ -193,21 +218,17 @@ class HashAggregate(_AggregateBase):
         # body) so neither path pays a per-row closure call.
         if consume > 1:
             child = self.child
+            extract = self._group_key_extractor(group_idxs)
+            dispatch = make_batch_dispatch(hooks)
             while True:
                 batch = child.next_batch(consume)
                 if not batch:
                     break
                 self.rows_consumed += len(batch)
-                for row in batch:
-                    if single:
-                        key = row[group_idxs[0]]
-                    elif group_idxs:
-                        key = tuple(row[i] for i in group_idxs)
-                    else:
-                        key = ()
-                    if hooks:
-                        for hook in hooks:
-                            hook(key, row)
+                keys = list(map(extract, batch))
+                if dispatch is not None:
+                    dispatch(keys, batch)
+                for key, row in zip(keys, batch):
                     states = groups.get(key)
                     if states is None:
                         states = groups[key] = self._make_state()
@@ -245,6 +266,7 @@ class SortAggregate(_AggregateBase):
     one row per run of equal keys."""
 
     op_name = "sort_aggregate"
+    __slots__ = ()
 
     def _consume_and_group(self, consume: int = 1) -> Iterator[tuple]:
         if not self.group_by:
@@ -258,20 +280,15 @@ class SortAggregate(_AggregateBase):
         rows: list[tuple] = []
         if consume > 1:
             child = self.child
+            extract = self._group_key_extractor(group_idxs)
+            dispatch = make_batch_dispatch(hooks)
             while True:
                 batch = child.next_batch(consume)
                 if not batch:
                     break
                 self.rows_consumed += len(batch)
-                if hooks:
-                    for row in batch:
-                        key = (
-                            row[group_idxs[0]]
-                            if single
-                            else tuple(row[i] for i in group_idxs)
-                        )
-                        for hook in hooks:
-                            hook(key, row)
+                if dispatch is not None:
+                    dispatch(list(map(extract, batch)), batch)
                 rows.extend(batch)
                 self._tick_n(len(batch))
         else:

@@ -23,12 +23,31 @@ batch does **not** (callers loop until empty). The default implementation
 falls back to repeated ``_next()`` calls, so every operator is batchable
 out of the box; hot operators override ``_next_batch`` with vectorized
 drains. Instrumentation equivalence is part of the contract:
-``tuples_emitted`` advances by ``len(batch)``, per-row hooks (build/probe/
-input) still fire once per row *in row order* inside native batch
-implementations, and blocking-phase work reaches the tick bus through
-:meth:`TickBus.tick_n`, so ``C(Q)``, phase transitions and every
-estimator's ``D_{t+1}`` refinement observe the same counts and per-key
-updates as the row-at-a-time path. See docs/BATCHING.md.
+``tuples_emitted`` advances by ``len(batch)``, hooks (build/probe/input)
+observe every row in row order, and blocking-phase work reaches the tick
+bus through :meth:`TickBus.tick_n`, so ``C(Q)``, phase transitions and
+every estimator's ``D_{t+1}`` refinement observe the same counts and
+per-key updates as the row-at-a-time path. See docs/BATCHING.md.
+
+Batch-aggregated hooks
+----------------------
+Per-row hooks are the monitoring layer's hot path: with an estimator
+attached, every consumed tuple costs a Python call per hook. A hook may
+therefore declare a *batch twin* — a callable taking ``(keys, rows)`` for a
+whole input batch — and native batch drains will invoke the twin once per
+batch instead of the per-row form once per row. Pairing is declared on the
+row hook itself, either as
+
+* ``hook.batch_hook`` — the batch callable directly (closures), or
+* ``hook.batch_hook_name`` — the *name* of a sibling method; for a bound
+  method the twin is resolved against ``hook.__self__`` (a class-body
+  ``on_probe.batch_hook_name = "on_probe_batch"`` marks every instance).
+
+Hooks without a twin keep firing once per row, in row order, inside batch
+drains — registering a plain callable keeps working unchanged. The batch
+twin must leave the estimator in *exactly* the state the per-row sequence
+would (same counts, same float sums, same histories); the differential
+harness enforces this bit-for-bit.
 """
 
 from __future__ import annotations
@@ -43,7 +62,57 @@ from repro.storage.schema import Schema
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.executor.engine import TickBus
 
-__all__ = ["Operator", "OperatorState"]
+__all__ = ["Operator", "OperatorState", "batch_hook_of", "make_batch_dispatch"]
+
+
+def batch_hook_of(hook: Callable) -> Callable | None:
+    """Resolve the batch twin a per-row hook declares, if any.
+
+    See the module docstring ("Batch-aggregated hooks") for the pairing
+    protocol. Returns None for plain unpaired callables.
+    """
+    twin = getattr(hook, "batch_hook", None)
+    if twin is not None:
+        return twin
+    name = getattr(hook, "batch_hook_name", None)
+    if name:
+        owner = getattr(hook, "__self__", None)
+        if owner is not None:
+            return getattr(owner, name, None)
+    return None
+
+
+def make_batch_dispatch(hooks: list[Callable]) -> Callable | None:
+    """Compile a hook list into one ``(keys, rows)`` batch dispatcher.
+
+    Returns None when there are no hooks (so drains can keep their
+    zero-hook fast path). Hooks with a batch twin are invoked once per
+    batch; unpaired hooks fall back to a per-row loop inside the dispatcher.
+    Each hook still observes every (key, row) pair in row order; only the
+    interleaving *between* hooks changes, which no estimator depends on.
+    Native drains call this once per pass, never per row.
+    """
+    if not hooks:
+        return None
+    batch_fns: list[Callable] = []
+    row_fns: list[Callable] = []
+    for hook in hooks:
+        twin = batch_hook_of(hook)
+        if twin is not None:
+            batch_fns.append(twin)
+        else:
+            row_fns.append(hook)
+    if not row_fns and len(batch_fns) == 1:
+        return batch_fns[0]
+
+    def dispatch(keys: list, rows: list) -> None:
+        for fn in batch_fns:
+            fn(keys, rows)
+        for row_fn in row_fns:
+            for key, row in zip(keys, rows):
+                row_fn(key, row)
+
+    return dispatch
 
 
 class OperatorState(enum.Enum):
@@ -69,6 +138,21 @@ class Operator(ABC):
     op_name: str = "operator"
     blocking_child_indexes: tuple[int, ...] = ()
     driver_child_index: int | None = None
+
+    # Operators are per-tuple hot objects: __slots__ drops the per-instance
+    # __dict__ and makes the tuples_emitted / bus / state attribute reads in
+    # next()/next_batch() direct slot loads. Every concrete operator must
+    # declare __slots__ too (the lint's operator registry catches strays).
+    __slots__ = (
+        "tuples_emitted",
+        "state",
+        "_exhausted",
+        "phase",
+        "node_id",
+        "bus",
+        "phase_hooks",
+        "estimated_cardinality",
+    )
 
     def __init__(self) -> None:
         self.tuples_emitted: int = 0

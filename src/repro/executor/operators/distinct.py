@@ -9,9 +9,10 @@ grouping key).
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Callable, Iterator
 
-from repro.executor.operators.base import Operator
+from repro.executor.operators.base import Operator, make_batch_dispatch
 from repro.storage.schema import Schema
 
 __all__ = ["Distinct"]
@@ -24,6 +25,14 @@ class Distinct(Operator):
 
     op_name = "distinct"
     blocking_child_indexes = (0,)
+
+    __slots__ = (
+        "child",
+        "input_hooks",
+        "rows_consumed",
+        "groups_seen",
+        "_emit_iter",
+    )
 
     def __init__(self, child: Operator):
         super().__init__()
@@ -48,23 +57,47 @@ class Distinct(Operator):
             self._emit_iter = self._consume()
         return next(self._emit_iter, None)
 
+    def _next_batch(self, max_rows: int) -> list[tuple]:
+        # Blocking: the full input is drained either way, so draining it at
+        # batch granularity on the first pull changes no emitted row.
+        if self._emit_iter is None:
+            self._emit_iter = self._consume(consume=max_rows)
+        return list(islice(self._emit_iter, max_rows))
+
     def _close(self) -> None:
         self._emit_iter = None
 
-    def _consume(self) -> Iterator[tuple]:
+    def _consume(self, consume: int = 1) -> Iterator[tuple]:
         self._set_phase("partition")
         hooks = self.input_hooks
         seen: dict[tuple, None] = {}  # dict preserves first-seen order
-        while True:
-            row = self.child.next()
-            if row is None:
-                break
-            self.rows_consumed += 1
-            if hooks:
-                for hook in hooks:
-                    hook(row, row)
-            seen.setdefault(row, None)
-            self._tick()
+        if consume > 1:
+            child = self.child
+            setdefault = seen.setdefault
+            # The whole row is the grouping key, so the key list for the
+            # batch hook dispatch is the batch itself.
+            dispatch = make_batch_dispatch(hooks)
+            while True:
+                batch = child.next_batch(consume)
+                if not batch:
+                    break
+                self.rows_consumed += len(batch)
+                if dispatch is not None:
+                    dispatch(batch, batch)
+                for row in batch:
+                    setdefault(row, None)
+                self._tick_n(len(batch))
+        else:
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                self.rows_consumed += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(row, row)
+                seen.setdefault(row, None)
+                self._tick()
         self.groups_seen = len(seen)
         self._set_phase("emit")
         yield from seen

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.executor.expressions import Expression
+from repro.executor.expressions import Expression, compile_predicate_kernel
 from repro.executor.operators.base import Operator
 from repro.storage.schema import Schema
 
@@ -25,12 +25,15 @@ class Filter(Operator):
     op_name = "filter"
     driver_child_index = 0
 
+    __slots__ = ("child", "predicate", "rows_consumed", "_bound", "_batch_kernel")
+
     def __init__(self, child: Operator, predicate: Expression):
         super().__init__()
         self.child = child
         self.predicate = predicate
         self.rows_consumed: int = 0
         self._bound: Callable[[tuple], object] | None = None
+        self._batch_kernel: Callable[[list[tuple]], list[tuple]] | None = None
 
     def children(self) -> tuple[Operator, ...]:
         return (self.child,)
@@ -43,7 +46,12 @@ class Filter(Operator):
         return f"filter({self.predicate!r})"
 
     def _open(self) -> None:
-        self._bound = self.predicate.bind(self.child.output_schema)
+        schema = self.child.output_schema
+        self._bound = self.predicate.bind(schema)
+        # Compiled batch kernel: one list comprehension filtering the whole
+        # batch, semantically identical to mapping the bound closure; None
+        # (expression without source support) keeps the closure fallback.
+        self._batch_kernel = compile_predicate_kernel(self.predicate, schema)
         self._set_phase("filter")
 
     def _next(self) -> tuple | None:
@@ -59,13 +67,17 @@ class Filter(Operator):
     def _next_batch(self, max_rows: int) -> list[tuple]:
         assert self._bound is not None
         bound = self._bound
+        kernel = self._batch_kernel
         child = self.child
         while True:
             batch = child.next_batch(max_rows)
             if not batch:
                 return []
             self.rows_consumed += len(batch)
-            survivors = [row for row in batch if bound(row)]
+            if kernel is not None:
+                survivors = kernel(batch)
+            else:
+                survivors = [row for row in batch if bound(row)]
             if survivors:
                 return survivors
 

@@ -28,10 +28,11 @@ and byte estimates fluctuate under skew.
 from __future__ import annotations
 
 from itertools import islice
+from operator import itemgetter
 from typing import Callable, Iterator, Sequence
 
 from repro.common.errors import PlanError
-from repro.executor.operators.base import Operator
+from repro.executor.operators.base import Operator, make_batch_dispatch
 from repro.storage.schema import Schema
 
 __all__ = ["HashJoin", "JOIN_TYPES"]
@@ -68,6 +69,22 @@ class HashJoin(Operator):
     op_name = "hash_join"
     blocking_child_indexes = (0,)
     driver_child_index = 1
+
+    __slots__ = (
+        "build_child",
+        "probe_child",
+        "build_keys",
+        "probe_keys",
+        "num_partitions",
+        "memory_partitions",
+        "join_type",
+        "build_hooks",
+        "probe_hooks",
+        "build_rows_consumed",
+        "probe_rows_consumed",
+        "_schema",
+        "_gen",
+    )
 
     def __init__(
         self,
@@ -137,11 +154,11 @@ class HashJoin(Operator):
     # -- key extraction --------------------------------------------------------
 
     def _key_extractor(self, schema: Schema, keys: tuple[str, ...]):
+        # operator.itemgetter is a C-level extractor: single-column keys
+        # join on the bare value, multi-column keys on the value tuple
+        # (multi-arg itemgetter returns exactly that tuple).
         idxs = [schema.index_of(k) for k in keys]
-        if len(idxs) == 1:
-            idx = idxs[0]
-            return lambda row: row[idx]
-        return lambda row: tuple(row[i] for i in idxs)
+        return itemgetter(*idxs)
 
     # -- execution ---------------------------------------------------------------
 
@@ -177,16 +194,16 @@ class HashJoin(Operator):
         hooks = self.build_hooks
         if consume > 1:
             child = self.build_child
+            dispatch = make_batch_dispatch(hooks)
             while True:
                 batch = child.next_batch(consume)
                 if not batch:
                     return
                 self.build_rows_consumed += len(batch)
-                for row in batch:
-                    key = extract(row)
-                    if hooks:
-                        for hook in hooks:
-                            hook(key, row)
+                keys = list(map(extract, batch))
+                if dispatch is not None:
+                    dispatch(keys, batch)
+                for key, row in zip(keys, batch):
                     if key is not None:
                         on_row(key, row)
                 self._tick_n(len(batch))
@@ -242,9 +259,12 @@ class HashJoin(Operator):
 
         ``consume`` is the granularity at which the *inputs* are pulled:
         1 preserves the classic per-row loops; larger values drain children
-        through ``next_batch`` and amortize tick-bus traffic via ``tick_n``.
-        Hooks still fire once per input row, in input order, so estimator
-        refinement is bit-identical in both modes.
+        through ``next_batch``, amortize tick-bus traffic via ``tick_n``, and
+        feed hooks through the batch dispatcher: hooks declaring a batch twin
+        receive each pass's ``(keys, rows)`` once per batch, the rest fire
+        once per input row in input order. Either way every hook observes
+        the full (key, row) sequence, so estimator refinement is
+        bit-identical in both modes.
         """
         n_parts = self.num_partitions
         n_memory = self.memory_partitions
@@ -280,17 +300,17 @@ class HashJoin(Operator):
         hooks = self.probe_hooks
         if consume > 1:
             probe_child = self.probe_child
+            dispatch = make_batch_dispatch(hooks)
             while True:
                 batch = probe_child.next_batch(consume)
                 if not batch:
                     break
                 self.probe_rows_consumed += len(batch)
                 self._tick_n(len(batch))
-                for probe_row in batch:
-                    key = extract(probe_row)
-                    if hooks:
-                        for hook in hooks:
-                            hook(key, probe_row)
+                keys = list(map(extract, batch))
+                if dispatch is not None:
+                    dispatch(keys, batch)
+                for key, probe_row in zip(keys, batch):
                     if key is None:
                         # NULL keys never match; outer/anti still emit.
                         yield from emit(None, probe_row)

@@ -14,6 +14,8 @@ class Limit(Operator):
     op_name = "limit"
     driver_child_index = 0
 
+    __slots__ = ("child", "n")
+
     def __init__(self, child: Operator, n: int):
         super().__init__()
         if n < 0:

@@ -21,6 +21,8 @@ class Materialize(Operator):
     op_name = "materialize"
     blocking_child_indexes = (0,)
 
+    __slots__ = ("child", "rows_consumed", "_buffer", "_iter")
+
     def __init__(self, child: Operator):
         super().__init__()
         self.child = child

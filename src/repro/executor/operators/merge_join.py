@@ -32,6 +32,21 @@ class SortMergeJoin(Operator):
 
     op_name = "merge_join"
 
+    __slots__ = (
+        "left_child",
+        "right_child",
+        "left_key",
+        "right_key",
+        "left_presorted",
+        "right_presorted",
+        "left_input_hooks",
+        "right_input_hooks",
+        "left_rows_consumed",
+        "right_rows_consumed",
+        "_schema",
+        "_gen",
+    )
+
     def __init__(
         self,
         left: Operator,

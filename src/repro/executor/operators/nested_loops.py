@@ -37,6 +37,17 @@ class NestedLoopsJoin(Operator):
     blocking_child_indexes = (1,)
     driver_child_index = 0
 
+    __slots__ = (
+        "outer_child",
+        "inner_child",
+        "predicate",
+        "inner_input_hooks",
+        "outer_hooks",
+        "outer_rows_consumed",
+        "_schema",
+        "_gen",
+    )
+
     def __init__(self, outer: Operator, inner: Operator, predicate: Expression | None = None):
         super().__init__()
         self.outer_child = outer
@@ -117,6 +128,18 @@ class IndexNestedLoopsJoin(Operator):
     op_name = "index_nl_join"
     blocking_child_indexes = (1,)
     driver_child_index = 0
+
+    __slots__ = (
+        "outer_child",
+        "inner_child",
+        "outer_key",
+        "inner_key",
+        "inner_input_hooks",
+        "outer_hooks",
+        "outer_rows_consumed",
+        "_schema",
+        "_gen",
+    )
 
     def __init__(self, outer: Operator, inner: Operator, outer_key: str, inner_key: str):
         super().__init__()

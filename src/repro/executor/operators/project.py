@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.executor.expressions import Col, Expression
+from repro.executor.expressions import Col, Expression, compile_projection_kernel
 from repro.executor.operators.base import Operator
 from repro.storage.schema import Column, ColumnType, Schema
 
@@ -22,6 +22,8 @@ class Project(Operator):
     op_name = "project"
     driver_child_index = 0
 
+    __slots__ = ("child", "columns", "_schema", "_bound", "_batch_kernel")
+
     def __init__(self, child: Operator, columns: Sequence[str | tuple[str, Expression]]):
         super().__init__()
         if not columns:
@@ -30,6 +32,7 @@ class Project(Operator):
         self.columns = list(columns)
         self._schema = self._derive_schema()
         self._bound: list[Callable[[tuple], object]] | None = None
+        self._batch_kernel: Callable[[list[tuple]], list[tuple]] | None = None
 
     def _derive_schema(self) -> Schema:
         in_schema = self.child.output_schema
@@ -55,11 +58,13 @@ class Project(Operator):
 
     def _open(self) -> None:
         in_schema = self.child.output_schema
-        bound: list[Callable[[tuple], object]] = []
-        for spec in self.columns:
-            expr = Col(spec) if isinstance(spec, str) else spec[1]
-            bound.append(expr.bind(in_schema))
-        self._bound = bound
+        exprs = [
+            Col(spec) if isinstance(spec, str) else spec[1] for spec in self.columns
+        ]
+        self._bound = [expr.bind(in_schema) for expr in exprs]
+        # Compiled batch kernel building one output tuple per row in a
+        # single comprehension; None keeps the bound-closure fallback.
+        self._batch_kernel = compile_projection_kernel(exprs, in_schema)
         self._set_phase("project")
 
     def _next(self) -> tuple | None:
@@ -71,8 +76,9 @@ class Project(Operator):
 
     def _next_batch(self, max_rows: int) -> list[tuple]:
         assert self._bound is not None
+        kernel = self._batch_kernel
+        batch = self.child.next_batch(max_rows)
+        if kernel is not None:
+            return kernel(batch)
         bound = self._bound
-        return [
-            tuple(fn(row) for fn in bound)
-            for row in self.child.next_batch(max_rows)
-        ]
+        return [tuple(fn(row) for fn in bound) for row in batch]

@@ -27,6 +27,7 @@ class SeqScan(Operator):
     """Sequential scan over a registered table."""
 
     op_name = "seq_scan"
+    __slots__ = ("table", "_iter")
 
     def __init__(self, table: Table):
         super().__init__()
@@ -80,6 +81,7 @@ class IndexScan(Operator):
     """
 
     op_name = "index_scan"
+    __slots__ = ("table", "key", "low", "high", "_sorted_rows", "_iter")
 
     def __init__(
         self,
@@ -150,6 +152,16 @@ class SampleScan(Operator):
     """
 
     op_name = "sample_scan"
+    __slots__ = (
+        "table",
+        "fraction",
+        "seed",
+        "sample",
+        "sample_boundary_hooks",
+        "in_sample_portion",
+        "_sample_iter",
+        "_remainder_iter",
+    )
 
     def __init__(self, table: Table, fraction: float, seed: int = 0):
         super().__init__()
@@ -203,18 +215,19 @@ class SampleScan(Operator):
         if self.in_sample_portion:
             assert self._sample_iter is not None
             batch = list(islice(self._sample_iter, max_rows))
-            if len(batch) == max_rows:
+            if batch:
+                # A batch never straddles the sample/remainder boundary:
+                # consumers dispatch estimator updates only *after* the pull,
+                # so firing the boundary punctuation (which may freeze an
+                # estimator) mid-batch would retroactively drop the sample
+                # rows in front of it. Return the short sample-only batch;
+                # the punctuation fires on the next pull, before the first
+                # remainder row — the same stream position as the row path.
                 return batch
-            # Sample exhausted mid-batch: the boundary punctuation fires at
-            # the same point in the row stream as in the row path — after
-            # the last sample row, before the first remainder row.
             self.in_sample_portion = False
             self._set_phase("remainder")
             for hook in self.sample_boundary_hooks:
                 hook(self)
-            assert self._remainder_iter is not None
-            batch.extend(islice(self._remainder_iter, max_rows - len(batch)))
-            return batch
         assert self._remainder_iter is not None
         return list(islice(self._remainder_iter, max_rows))
 

@@ -24,6 +24,15 @@ class Sort(Operator):
     op_name = "sort"
     blocking_child_indexes = (0,)
 
+    __slots__ = (
+        "child",
+        "keys",
+        "descending",
+        "input_hooks",
+        "rows_consumed",
+        "_sorted_iter",
+    )
+
     def __init__(self, child: Operator, keys: Sequence[str], descending: bool = False):
         super().__init__()
         if not keys:

@@ -1,0 +1,25 @@
+"""R005 fixture: per-row estimator hooks inside a _next_batch drain loop."""
+
+
+class LeakyOperator:
+    def _next_batch(self, max_rows):
+        batch = self.child.next_batch(max_rows)
+        for row in batch:  # R005 x3: per-row hook calls in a batch drain
+            self.estimator.on_probe(row[0], row)
+            self.other.on_build(row[0], row)
+            self.hybrid.observe(row[0])
+        while batch:
+            self.estimator.on_probe(batch.pop(), None)  # R005 (same attr, new line)
+        return batch
+
+    def _next(self):
+        # Per-row hooks on the row path are fine.
+        row = self.child.next()
+        if row is not None:
+            self.estimator.on_probe(row[0], row)
+        return row
+
+    def _consume(self):
+        # Outside _next_batch: not this rule's business.
+        for row in self.rows:
+            self.hybrid.observe(row[0])

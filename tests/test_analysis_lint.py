@@ -62,6 +62,25 @@ class TestRules:
     def test_good_operator_fixture_is_clean(self):
         assert lint_paths([fixture("good_operator.py")]) == []
 
+    def test_r005_per_row_hooks_in_batch_drain(self):
+        violations = lint_paths([fixture("bad_per_row_hooks.py")], rules={"R005"})
+        # Three distinct hooks in the for loop + one in the while loop; the
+        # same calls in _next/_consume are not flagged.
+        assert len(violations) == 4
+        flagged = {v.message.split()[1] for v in violations}
+        assert flagged == {"on_probe()", "on_build()", "observe()"}
+
+    def test_r005_exempts_the_operator_base_fallback(self, tmp_path):
+        target = tmp_path / "executor" / "operators" / "base.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "class Operator:\n"
+            "    def _next_batch(self, max_rows):\n"
+            "        for row in self.rows:\n"
+            "            self.estimator.on_probe(row[0], row)\n"
+        )
+        assert lint_paths([str(target)], rules={"R005"}) == []
+
 
 class TestEngine:
     def test_rule_subset_selection(self):
@@ -86,7 +105,7 @@ class TestEngine:
         assert ": R003 " in rendered
 
     def test_rules_registry_documents_every_rule(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
 
 
 class TestMain:

@@ -1,0 +1,352 @@
+"""Batch-aggregated estimator updates: exact equivalence with per-tuple.
+
+The batch hooks (``on_build_batch`` / ``on_probe_batch`` / ``observe_batch``
+and the chain estimator's batch twins) claim *bit-identical* state, not
+state-within-tolerance: every quantity they maintain is an integer-valued
+sum below 2**53, so Counter aggregation changes the number of arithmetic
+operations but not one bit of the result. This suite holds them to that
+claim — Monte-Carlo across join types and random batch splits for the ONCE
+estimator, engine-driven row-vs-batch runs for the chain estimator
+(including a Case-2 derived-histogram chain and the aggregation push-down
+listener path), scheduler/checkpoint fidelity for the hybrid group-count
+estimator, and the empty-batch / NULL-key edge cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.core.distinct import HybridGroupCountEstimator
+from repro.core.histogram import BucketizedHistogram, FrequencyHistogram
+from repro.core.join_estimators import OnceJoinEstimator
+from repro.core.pipeline_estimators import (
+    HashJoinChainEstimator,
+    find_hash_join_chains,
+)
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine
+from repro.executor.operators import HashJoin, SeqScan
+
+JOIN_TYPES = ("inner", "semi", "anti", "outer")
+
+SEED = 0xBA7C
+
+
+def _random_keys(rng, n: int, domain: int, null_rate: float = 0.0) -> list:
+    return [
+        None if null_rate and rng.random() < null_rate else int(rng.integers(0, domain))
+        for _ in range(n)
+    ]
+
+
+def _random_chunks(rng, items: list) -> list[list]:
+    """Split ``items`` into random-size chunks (sizes 1..1500, so chunks
+    regularly straddle several record_every boundaries and sometimes none)."""
+    chunks = []
+    i = 0
+    while i < len(items):
+        size = int(rng.integers(1, 1500))
+        chunks.append(items[i : i + size])
+        i += size
+    return chunks
+
+
+def _interval_state(estimator):
+    interval = estimator._interval
+    return (interval.count, interval.sum_x, interval.sum_x_sq)
+
+
+# -- ONCE (binary join) estimator ----------------------------------------------
+
+
+class TestOnceBatch:
+    @pytest.mark.parametrize("join_type", JOIN_TYPES)
+    @pytest.mark.parametrize("trial", range(5))
+    def test_monte_carlo_state_and_ci_equality(self, join_type, trial):
+        rng = make_rng(SEED, "once", join_type, trial)
+        build = _random_keys(rng, 2_000, domain=40, null_rate=0.05)
+        probe = _random_keys(rng, 6_000, domain=50, null_rate=0.08)
+
+        row = OnceJoinEstimator(
+            probe_total=6_000.0, record_every=64, join_type=join_type
+        )
+        batch = OnceJoinEstimator(
+            probe_total=6_000.0, record_every=64, join_type=join_type
+        )
+        for key in build:
+            row.on_build(key)
+        for chunk in _random_chunks(rng, build):
+            batch.on_build_batch(chunk)
+        assert row.histogram.counts == batch.histogram.counts
+
+        for key in probe:
+            row.on_probe(key)
+        for chunk in _random_chunks(rng, probe):
+            batch.on_probe_batch(chunk)
+
+        assert (row.t, row.sum_counts) == (batch.t, batch.sum_counts)
+        assert _interval_state(row) == _interval_state(batch)
+        # Not approx: endpoints must match to the last bit.
+        assert row.confidence_interval() == batch.confidence_interval()
+        assert row.current_estimate() == batch.current_estimate()
+        assert row.history == batch.history
+
+    def test_checkpoints_land_on_per_tuple_t_values(self):
+        estimator = OnceJoinEstimator(probe_total=100.0, record_every=10)
+        estimator.on_build_batch([1, 1, 2])
+        estimator.on_probe_batch([1] * 35)  # straddles t=10, 20, 30
+        assert [t for t, _ in estimator.history] == [10, 20, 30]
+        estimator.on_probe_batch([2] * 5)  # lands exactly on t=40
+        assert [t for t, _ in estimator.history] == [10, 20, 30, 40]
+
+    def test_checkpoint_estimates_use_prefix_state(self):
+        """A checkpoint inside a batch must reflect only the prefix of the
+        batch before the boundary, exactly as per-tuple execution would."""
+        row = OnceJoinEstimator(probe_total=20.0, record_every=4)
+        batch = OnceJoinEstimator(probe_total=20.0, record_every=4)
+        build = [7, 7, 7, 8]
+        probe = [7, 8, 9, 7, 7, 8, 9, 7, 7, 7]
+        for key in build:
+            row.on_build(key)
+        batch.on_build_batch(build)
+        for key in probe:
+            row.on_probe(key)
+        batch.on_probe_batch(probe)
+        assert row.history == batch.history
+        assert [t for t, _ in batch.history] == [4, 8]
+
+    def test_empty_batch_is_a_noop(self):
+        estimator = OnceJoinEstimator(probe_total=10.0, record_every=1)
+        estimator.on_build_batch([])
+        estimator.on_probe_batch([])
+        assert estimator.t == 0
+        assert estimator.sum_counts == 0
+        assert estimator.history == []
+        assert estimator.histogram.num_distinct == 0
+
+    @pytest.mark.parametrize("join_type", JOIN_TYPES)
+    def test_all_none_probe_batch(self, join_type):
+        row = OnceJoinEstimator(probe_total=8.0, join_type=join_type)
+        batch = OnceJoinEstimator(probe_total=8.0, join_type=join_type)
+        for estimator in (row, batch):
+            estimator.on_build(5)
+        keys = [None] * 8
+        for key in keys:
+            row.on_probe(key)
+        batch.on_probe_batch(keys)
+        assert (row.t, row.sum_counts) == (batch.t, batch.sum_counts)
+        assert _interval_state(row) == _interval_state(batch)
+        # NULL never matches: contributes 0 except under anti/outer (1 each).
+        expected = 8 if join_type in ("anti", "outer") else 0
+        assert batch.sum_counts == expected
+
+    def test_build_batch_skips_none_keys(self):
+        estimator = OnceJoinEstimator()
+        estimator.on_build_batch([None, 1, None, 1, 2])
+        assert estimator.histogram.counts == {1: 2, 2: 1}
+
+
+# -- histogram bulk updates ----------------------------------------------------
+
+
+class TestHistogramBatch:
+    def test_add_batch_with_frequency_tracking(self):
+        rng = make_rng(SEED, "fof")
+        values = _random_keys(rng, 4_000, domain=60, null_rate=0.03)
+        row = FrequencyHistogram(track_frequencies=True)
+        batch = FrequencyHistogram(track_frequencies=True)
+        for value in values:
+            if value is not None:
+                row.add(value)
+        for chunk in _random_chunks(rng, values):
+            batch.add_batch(chunk)
+        assert row.counts == batch.counts
+        assert row.freq_of_freq == batch.freq_of_freq
+        assert row.total == batch.total
+
+    def test_bucketized_add_batch(self):
+        rng = make_rng(SEED, "bucket")
+        values = _random_keys(rng, 3_000, domain=500, null_rate=0.05)
+        row = BucketizedHistogram(num_buckets=64)
+        batch = BucketizedHistogram(num_buckets=64)
+        for value in values:
+            if value is not None:
+                row.add(value)
+        for chunk in _random_chunks(rng, values):
+            batch.add_batch(chunk)
+        assert row.buckets == batch.buckets
+        assert row.total == batch.total
+
+
+# -- hybrid GEE/MLE group-count estimator --------------------------------------
+
+
+class TestHybridBatch:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_monte_carlo_full_state_equality(self, trial):
+        rng = make_rng(SEED, "hybrid", trial)
+        # Small |T| keeps the recompute interval short, so batches straddle
+        # many recompute *and* checkpoint boundaries.
+        values = _random_keys(rng, 12_000, domain=300)
+        row = HybridGroupCountEstimator(total=12_000.0, record_every=128)
+        batch = HybridGroupCountEstimator(total=12_000.0, record_every=128)
+        for value in values:
+            row.observe(value)
+        for chunk in _random_chunks(rng, values):
+            batch.observe_batch(chunk)
+
+        assert row.state.histogram.counts == batch.state.histogram.counts
+        assert row.state.histogram.freq_of_freq == batch.state.histogram.freq_of_freq
+        row_m, batch_m = row.state.moments, batch.state.moments
+        assert (row_m.num_groups, row_m.sum_freq, row_m.sum_freq_sq) == (
+            batch_m.num_groups,
+            batch_m.sum_freq,
+            batch_m.sum_freq_sq,
+        )
+        # Scheduler fidelity: the batch path recomputed the MLE at exactly
+        # the same t values, so the adaptive interval went through the same
+        # doubling/reset sequence.
+        assert row._cached_mle == batch._cached_mle
+        assert row.scheduler.interval == batch.scheduler.interval
+        assert row.scheduler.recompute_count == batch.scheduler.recompute_count
+        assert row.history == batch.history
+        assert row.estimate() == batch.estimate()
+
+    def test_empty_batch_is_a_noop(self):
+        estimator = HybridGroupCountEstimator(total=100.0, record_every=1)
+        estimator.observe_batch([])
+        assert estimator.state.t == 0
+        assert estimator.history == []
+
+    def test_none_is_a_legitimate_group(self):
+        """Unlike join keys, NULL group values aggregate (into the NULL
+        group), so observe_batch must count them."""
+        row = HybridGroupCountEstimator(total=6.0)
+        batch = HybridGroupCountEstimator(total=6.0)
+        values = [None, 1, None, 2, 1, None]
+        for value in values:
+            row.observe(value)
+        batch.observe_batch(values)
+        assert row.state.histogram.counts == batch.state.histogram.counts
+        assert batch.state.histogram.counts[None] == 3
+        assert batch.state.distinct_seen == 3
+
+
+# -- hash-join chain estimator (engine-driven) ---------------------------------
+
+
+def _tables():
+    return (
+        customer_variant(z=1.0, domain_size=20, variant=0, num_rows=220, name="c1"),
+        customer_variant(z=1.5, domain_size=20, variant=1, num_rows=180, name="c2"),
+        customer_variant(z=0.3, domain_size=30, variant=2, num_rows=150, name="c3"),
+    )
+
+
+def _c_keyed_chain():
+    """k=2 chain, both probe keys on the base stream C (Case 1)."""
+    c1, c2, c3 = _tables()
+    j0 = HashJoin(SeqScan(c1), SeqScan(c3), "c1.nationkey", "c3.nationkey")
+    j1 = HashJoin(SeqScan(c2), j0, "c2.nationkey", "c3.nationkey")
+    return j1
+
+
+def _derived_chain():
+    """k=2 chain whose upper probe key is a column of the lower build
+    relation (Case 2: derived-histogram path; per-row build hooks)."""
+    c1, c2, c3 = _tables()
+    j0 = HashJoin(SeqScan(c1), SeqScan(c3), "c1.nationkey", "c3.nationkey")
+    j1 = HashJoin(SeqScan(c2), j0, "c2.custkey", "c1.custkey")
+    return j1
+
+
+def _run_chain(build_plan, batch_size, listener_column=None):
+    plan = build_plan()
+    (chain,) = find_hash_join_chains(plan)
+    estimator = HashJoinChainEstimator(chain, record_every=32)
+    observed = []
+    if listener_column is not None:
+        estimator.add_output_listener(listener_column, lambda v, c: observed.append((v, c)))
+    ExecutionEngine(plan).run(batch_size=batch_size)
+    return estimator, observed
+
+
+def _chain_state(estimator):
+    return (
+        estimator.t,
+        list(estimator.sums),
+        estimator.exact,
+        [(iv.count, iv.sum_x, iv.sum_x_sq) for iv in estimator._intervals],
+        [dict(h.counts) for h in estimator.base_hists],
+        {key: dict(h.counts) for key, h in estimator.derived.items()},
+        [list(h) for h in estimator.history],
+        estimator.confidence_interval(),
+    )
+
+
+class TestChainBatch:
+    @pytest.mark.parametrize("build_plan", [_c_keyed_chain, _derived_chain])
+    @pytest.mark.parametrize("batch_size", [1, 7, 1024])
+    def test_engine_row_vs_batch(self, build_plan, batch_size):
+        reference, _ = _run_chain(build_plan, batch_size=None)
+        got, _ = _run_chain(build_plan, batch_size=batch_size)
+        assert got.k == 2
+        assert _chain_state(got) == _chain_state(reference)
+
+    @pytest.mark.parametrize("batch_size", [7, 1024])
+    def test_output_listener_forces_identical_per_row_stream(self, batch_size):
+        """With a push-down listener attached, the batch twin degrades to
+        the per-row loop: the (value, contribution) stream — whose order
+        the pushed-down aggregate depends on — must match exactly."""
+        reference, ref_seen = _run_chain(
+            _c_keyed_chain, batch_size=None, listener_column="c3.nationkey"
+        )
+        got, batch_seen = _run_chain(
+            _c_keyed_chain, batch_size=batch_size, listener_column="c3.nationkey"
+        )
+        assert batch_seen == ref_seen
+        assert _chain_state(got) == _chain_state(reference)
+
+    def test_single_join_chain_batch_twin(self):
+        """k=1 uses the dedicated fast path; verify its batch twin too."""
+
+        def build_plan():
+            c1, _, c3 = _tables()
+            return HashJoin(SeqScan(c1), SeqScan(c3), "c1.nationkey", "c3.nationkey")
+
+        reference, _ = _run_chain(build_plan, batch_size=None)
+        got, _ = _run_chain(build_plan, batch_size=1024)
+        assert got.k == 1
+        assert _chain_state(got) == _chain_state(reference)
+
+
+class TestStopAfterSampleBatch:
+    """The sample-boundary freeze lands on the same tuple in every mode.
+
+    ``SampleScan._next_batch`` never lets a batch straddle the
+    sample/remainder boundary (it returns a short sample-only batch and
+    fires the punctuation on the next pull), so a frozen chain estimator
+    observes exactly the sample-portion rows — the same ``t`` and sums as
+    row mode — even when the whole sample fits inside one batch.
+    """
+
+    @staticmethod
+    def _run(batch_size):
+        from repro.executor.operators import SampleScan
+
+        c1, _, c3 = _tables()
+        plan = HashJoin(
+            SeqScan(c1), SampleScan(c3, 0.3, seed=7), "c1.nationkey", "c3.nationkey"
+        )
+        est = HashJoinChainEstimator([plan], stop_after_sample=True)
+        ExecutionEngine(plan, collect_rows=False).run(batch_size=batch_size)
+        return est
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 1024])
+    def test_freeze_point_matches_row_mode(self, batch_size):
+        reference = self._run(None)
+        got = self._run(batch_size)
+        assert reference.frozen and got.frozen
+        assert got.t == reference.t > 0
+        assert _chain_state(got) == _chain_state(reference)

@@ -4,16 +4,27 @@ Generates ~200 seeded random plans over skewed (Zipf) data and asserts that
 row-at-a-time execution and batched execution (batch sizes 1, 7 and 1024)
 are observationally identical: same output rows in the same order, same
 per-operator ``tuples_emitted`` (the K_i of the progress model), same
-``TickBus`` counts, and bit-identical final T(Q) / ONCE join estimates.
+``TickBus`` counts, bit-identical final T(Q) / ONCE join estimates, and —
+since the batch-aggregated estimator updates — bit-identical *estimator
+internals*: t, Σcounts, build histograms (base and derived), sufficient
+statistics of every confidence interval, group-count moments, and
+``record_every`` history checkpoints.
+
+History *estimates* recorded mid-pass consult probe-total providers (e.g.
+``Filter.observed_selectivity``) whose value at a given t legitimately
+differs between modes: the batch path has read further ahead through the
+provider's operator. Full ``(t, estimate)`` histories are therefore only
+compared when every provider on the resolution path is a catalog constant
+(``_provider_stable``); the checkpoint *t sequences* — which depend only on
+the estimator's own observation count — are compared always.
 
 Plan shapes follow the instrumentation-equivalence contract documented in
 ``docs/BATCHING.md``: a *truncating* LIMIT is only placed where equivalence
-is exact — directly over a scan (the request is capped, not the result),
-over a blocking operator (full input drain either way), or over an operator
-that uses the row-at-a-time fallback (``Distinct``). Over a streaming
-``Filter``/``HashJoin`` the batch path's bounded read-ahead makes upstream
-counts diverge by design; that bound is covered by
-``tests/test_batch_operators.py``.
+is exact — directly over a scan (the request is capped, not the result), or
+over a blocking operator (``Distinct``, aggregates, ``Materialize``: full
+input drain either way). Over a streaming ``Filter``/``HashJoin`` the batch
+path's bounded read-ahead makes upstream counts diverge by design; that
+bound is covered by ``tests/test_batch_operators.py``.
 """
 
 from __future__ import annotations
@@ -241,6 +252,86 @@ def build_plan(trial: int):
 # -- execution + comparison ----------------------------------------------------
 
 
+def _provider_stable(op) -> bool:
+    """Is ``resolve_stream_total(op)`` constant for the whole execution?
+
+    Mirrors the provider's recursion: scan totals are catalog constants;
+    ``Filter`` consults ``observed_selectivity`` and the generic fallback
+    consults ``tuples_emitted``, both of which sit at different points
+    between modes *while the pass is in flight* (batch read-ahead). Only
+    when every node on the path is constant are mid-pass history estimates
+    bit-comparable between row and batch execution.
+    """
+    if isinstance(op, (SeqScan, SampleScan, IndexScan)):
+        return True
+    if isinstance(op, (Project, Sort, Materialize, Limit)):
+        return _provider_stable(op.children()[0])
+    return False
+
+
+def _interval_state(interval) -> tuple[int, float, float]:
+    return (interval.count, interval.sum_x, interval.sum_x_sq)
+
+
+def _history_view(history: list[tuple[int, float]], stable: bool):
+    return list(history) if stable else [t for t, _ in history]
+
+
+def _estimator_state(manager, ops_by_id: dict[int, object]) -> list[tuple]:
+    """Deep snapshot of every attached estimator's internal state."""
+    state: list[tuple] = []
+    for chain in manager.chain_estimators:
+        stable = _provider_stable(chain.base_stream)
+        state.append((
+            "chain",
+            chain.t,
+            list(chain.sums),
+            chain.exact,
+            [_interval_state(iv) for iv in chain._intervals],
+            [dict(h.counts) for h in chain.base_hists],
+            {key: dict(h.counts) for key, h in chain.derived.items()},
+            [_history_view(h, stable) for h in chain.history],
+            chain.confidence_interval(),
+        ))
+    for op_id, est in manager.join_estimators.items():
+        stable = _provider_stable(ops_by_id[op_id].probe_child)
+        state.append((
+            "once",
+            est.t,
+            est.sum_counts,
+            est.exact,
+            _interval_state(est._interval),
+            dict(est.histogram.counts),
+            _history_view(est.history, stable),
+            est.confidence_interval(),
+        ))
+    for op_id, est in manager.group_estimators.items():
+        hybrid = est.hybrid
+        # Pushed-down totals track the feeding chain's (provider-backed)
+        # estimate, so their estimate-side state is mode-dependent too.
+        stable = not est.pushed_down and _provider_stable(ops_by_id[op_id].child)
+        group_state = hybrid.state
+        moments = group_state.moments
+        entry = (
+            "group",
+            group_state.t,
+            dict(group_state.histogram.counts),
+            dict(group_state.histogram.freq_of_freq),
+            (moments.num_groups, moments.sum_freq, moments.sum_freq_sq),
+            hybrid.exact,
+            _history_view(hybrid.history, stable),
+        )
+        if stable:
+            entry += ((
+                hybrid._cached_mle,
+                hybrid.scheduler.interval,
+                hybrid.scheduler.recompute_count,
+                hybrid.estimate(),
+            ),)
+        state.append(entry)
+    return state
+
+
 @dataclass
 class _Observation:
     rows: list[tuple]
@@ -249,15 +340,17 @@ class _Observation:
     true_total: float
     t_q: float
     join_estimates: list[float | None]
+    estimator_state: list[tuple]
 
 
 def _observe(trial: int, batch_size: int | None) -> _Observation:
     plan = build_plan(trial)
     bus = TickBus(interval=TICK_INTERVAL)
-    monitor = ProgressMonitor(plan, mode="once", bus=bus)
+    monitor = ProgressMonitor(plan, mode="once", bus=bus, record_every=TICK_INTERVAL)
     result = ExecutionEngine(plan, bus=bus, collect_rows=True).run(batch_size=batch_size)
     final = monitor.snapshot()
     assert monitor.manager is not None
+    ops_by_id = {id(op): op for op in walk(plan)}
     join_estimates = [
         monitor.manager.estimate_for(op)
         for op in walk(plan)
@@ -270,6 +363,7 @@ def _observe(trial: int, batch_size: int | None) -> _Observation:
         true_total=monitor.true_total(),
         t_q=final.work_total_estimate,
         join_estimates=join_estimates,
+        estimator_state=_estimator_state(monitor.manager, ops_by_id),
     )
 
 
@@ -286,6 +380,7 @@ def test_row_and_batch_modes_agree(trial):
         assert got.true_total == reference.true_total, context
         assert got.t_q == reference.t_q, context
         assert got.join_estimates == reference.join_estimates, context
+        assert got.estimator_state == reference.estimator_state, context
 
 
 def test_harness_covers_the_plan_space():
