@@ -33,7 +33,8 @@ class Severity(enum.IntEnum):
 
 #: Registry of every diagnostic code: default severity + one-line description.
 #: P* = plan structure, T* = expression typing, J* = join keys,
-#: A* = aggregation, I* = pipeline invariants, C* = estimator classification.
+#: A* = aggregation, I* = pipeline invariants, C* = estimator classification,
+#: X* = lock discipline (repro.analysis.concurrency).
 CODES: dict[str, tuple[Severity, str]] = {
     "P001": (Severity.ERROR, "operator appears more than once in the plan tree"),
     "P002": (Severity.ERROR, "blocking child index out of range"),
@@ -70,6 +71,12 @@ CODES: dict[str, tuple[Severity, str]] = {
         Severity.WARNING,
         "chain base stream is order-clustered; ONCE confidence bounds assume random order",
     ),
+    "X001": (Severity.ERROR, "unguarded read/write of a lock-guarded attribute"),
+    "X002": (Severity.ERROR, "guarded method called without its lock provably held"),
+    "X003": (Severity.ERROR, "lock acquired on a path that can exit without release"),
+    "X004": (Severity.ERROR, "inconsistent lock-acquisition order (potential deadlock cycle)"),
+    "X005": (Severity.ERROR, "blocking call while holding a critical (sampling) lock"),
+    "X006": (Severity.WARNING, "guarded mutable state escapes its lock to another thread"),
 }
 
 

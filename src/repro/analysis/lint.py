@@ -32,6 +32,17 @@ someone writes new code:
   reinstates the per-tuple overhead the batch path exists to amortise.
   ``operators/base.py`` is exempt: the generic ``Operator`` fallback is the
   one sanctioned place where batch execution degrades to per-row hooks.
+* **R006** — no bare ``threading.Lock()`` / ``threading.RLock()``
+  construction inside ``executor/`` or ``core/``. Those layers synchronize
+  through the TickBus-carried sampling lock; a private lock there either
+  duplicates it (two locks "protecting" the same estimator state protect
+  nothing) or silently partitions the protocol the concurrency analyzer
+  (:mod:`repro.analysis.concurrency`) checks. ``TickBus`` itself — the
+  class that *creates* the sampling lock — is exempt. Sanctioned
+  exceptions carry ``# noqa: R006`` with a justification comment.
+
+A violation on a line carrying ``# noqa: R00x`` (matching code) is
+suppressed — the accepted sites stay visible and justified in the source.
 
 The engine parses every file once, builds a cross-module class registry so
 inheritance resolves through intermediate bases (``SampleScan -> SeqScan``,
@@ -42,11 +53,22 @@ from __future__ import annotations
 
 import argparse
 import ast
+import re
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = ["RULES", "Violation", "lint_paths", "main"]
+
+_NOQA_RE = re.compile(r"#\s*noqa:\s*([A-Z0-9, ]+)")
+
+
+def _noqa_codes(line: str) -> set[str]:
+    """Codes suppressed by a ``# noqa: R001[, R002]`` comment on ``line``."""
+    match = _NOQA_RE.search(line)
+    if not match:
+        return set()
+    return {c.strip() for c in match.group(1).split(",") if c.strip()}
 
 #: Rule id -> one-line description (kept in sync with docs/ANALYSIS.md).
 RULES: dict[str, str] = {
@@ -57,6 +79,8 @@ RULES: dict[str, str] = {
     "R004": "Operator subclasses must declare op_name, children and output_schema",
     "R005": "per-row estimator hooks (on_build/on_probe/observe) are forbidden "
     "inside _next_batch loops; use the batch-hook twins",
+    "R006": "bare threading.Lock()/RLock() construction is forbidden in executor/ "
+    "and core/; use the TickBus-carried sampling lock",
 }
 
 #: The one module allowed to touch raw RNG constructors.
@@ -365,6 +389,53 @@ def _rule_r005(tree: ast.Module, path: str) -> list[Violation]:
     ]
 
 
+#: Packages where private lock construction is banned (R006).
+_R006_PKGS = (("repro", "executor"), ("repro", "core"))
+
+#: The class that owns the sampling lock may, of course, construct it.
+_R006_EXEMPT_CLASSES = ("TickBus",)
+
+
+def _in_package(path: str, pkg: tuple[str, ...]) -> bool:
+    parts = Path(path).parts
+    return any(
+        parts[i : i + len(pkg)] == pkg for i in range(len(parts) - len(pkg) + 1)
+    )
+
+
+def _rule_r006(tree: ast.Module, path: str) -> list[Violation]:
+    """Bare ``threading.Lock()``/``RLock()`` in executor/ or core/."""
+    if not any(_in_package(path, pkg) for pkg in _R006_PKGS):
+        return []
+    violations: list[Violation] = []
+
+    def visit(node: ast.AST, class_name: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and _base_name(child.func) in ("Lock", "RLock")
+                and class_name not in _R006_EXEMPT_CLASSES
+            ):
+                violations.append(
+                    Violation(
+                        "R006",
+                        path,
+                        child.lineno,
+                        f"bare threading.{_base_name(child.func)}() constructed in "
+                        f"{Path(path).parts[-2]}/; executor and core state is "
+                        "guarded by the TickBus-carried sampling lock — share "
+                        "bus.lock (or justify with a `# noqa: R006` comment)",
+                    )
+                )
+            visit(child, class_name)
+
+    visit(tree, None)
+    return violations
+
+
 def _rule_r004(registry: _Registry) -> list[Violation]:
     """Concrete Operator subclasses missing required declarations."""
     violations: list[Violation] = []
@@ -401,9 +472,11 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
         raise ValueError(f"unknown lint rules: {sorted(unknown)}")
     registry = _Registry()
     modules: list[tuple[ast.Module, str]] = []
+    lines_by_path: dict[str, list[str]] = {}
     violations: list[Violation] = []
     for file in _collect_files(paths):
         text = file.read_text()
+        lines_by_path[str(file)] = text.splitlines()
         try:
             tree = ast.parse(text, filename=str(file))
         except SyntaxError as exc:
@@ -418,6 +491,7 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
         "R002": _rule_r002,
         "R003": _rule_r003,
         "R005": _rule_r005,
+        "R006": _rule_r006,
     }
     for tree, path in modules:
         for rule_id, rule in per_module.items():
@@ -425,13 +499,20 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
                 violations.extend(rule(tree, path))
     if "R004" in selected:
         violations.extend(_rule_r004(registry))
-    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+    kept = []
+    for violation in violations:
+        lines = lines_by_path.get(violation.path, [])
+        if 0 < violation.line <= len(lines):
+            if violation.rule in _noqa_codes(lines[violation.line - 1]):
+                continue
+        kept.append(violation)
+    return sorted(kept, key=lambda v: (v.path, v.line, v.rule))
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Codebase invariant lint (rules R001-R005)",
+        description="Codebase invariant lint (rules R001-R006)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

@@ -12,6 +12,14 @@ from repro.common.errors import (
     ReproError,
     SchemaError,
 )
+from repro.common.locks import (
+    LockAssertionError,
+    acquires,
+    assert_owned,
+    asserts_enabled,
+    guarded_by,
+    holds_lock,
+)
 from repro.common.rng import derive_seed, make_rng
 from repro.common.stats import (
     IncrementalFrequencyStats,
@@ -25,11 +33,17 @@ __all__ = [
     "EstimationError",
     "ExecutorError",
     "IncrementalFrequencyStats",
+    "LockAssertionError",
     "PlanError",
     "ReproError",
     "RunningMeanVar",
     "SchemaError",
+    "acquires",
+    "assert_owned",
+    "asserts_enabled",
     "derive_seed",
+    "guarded_by",
+    "holds_lock",
     "make_rng",
     "normal_quantile",
     "squared_coefficient_of_variation",

@@ -1,0 +1,141 @@
+"""Lock-discipline annotations and debug-mode runtime ownership asserts.
+
+Since the server subsystem landed, the correctness of concurrent progress
+snapshots rests on one convention: every read or write of estimator and
+session state happens under the TickBus-carried sampling RLock (or the
+owning component's private lock). This module turns that convention into
+*declarations* that the static analyzer (:mod:`repro.analysis.concurrency`)
+machine-checks, plus a runtime cross-check that validates the static model
+while the test suite actually runs threads.
+
+Annotation model
+----------------
+Three decorators mark the locking contract of a method. All are inert at
+runtime — they attach metadata attributes and return the function
+unchanged, so annotated hot paths cost nothing:
+
+* ``@guarded_by("lock_attr")`` — the *caller* must hold the named lock
+  when invoking this method. The analyzer proves the lock is held at every
+  resolvable call site (diagnostic X002) and treats it as held inside the
+  body.
+* ``@holds_lock("lock_attr")`` — the method is axiomatically entered with
+  the lock held *by construction* (e.g. a TickBus callback, which only
+  ever fires from inside a pull that owns the sampling lock). Call sites
+  are not checked — that is the difference from ``guarded_by`` — but the
+  body is analyzed with the lock held, and :func:`assert_owned` validates
+  the axiom at runtime in debug mode.
+* ``@acquires("lock_attr")`` — the method takes (and releases) the named
+  lock internally. Callers need not hold it; the analyzer feeds these
+  declarations into the lock-acquisition-order graph (deadlock detection,
+  X004) when such a method is called while other locks are held.
+
+Lock attribute names are dotted paths relative to ``self`` — ``"_lock"``,
+``"bus.lock"`` — resolved through the analyzer's class registry.
+
+Fields are guarded through class-attribute registries (read by the
+analyzer from the AST; inert dictionaries at runtime):
+
+* ``_guarded_by_ = {"field": "lock_attr"}`` — every read *and* write of
+  the field outside ``__init__`` must happen under the lock (X001).
+* ``_write_guarded_by_ = {"field": "lock_attr"}`` — writes require the
+  lock; lock-free reads are sanctioned. This expresses the repo's
+  immutable-snapshot pattern: a field that only ever holds immutable
+  values (a tuple of callbacks, a frozen snapshot) is swapped under the
+  lock and read without it.
+* ``_critical_locks_ = ("lock_attr",)`` — marks a lock as *critical*: the
+  analyzer forbids blocking calls while it is held (X005). The TickBus
+  sampling lock is the canonical critical lock — sleeping or stepping a
+  session while holding it would stall every concurrent snapshot.
+
+Runtime cross-check
+-------------------
+:func:`assert_owned` is a no-op unless the environment variable
+``REPRO_LOCK_ASSERTS`` is ``"1"``. With asserts enabled, it raises
+:class:`LockAssertionError` when the calling thread does not own the lock
+— called from ``ProgressMonitor`` sampling and ``QuerySession`` stepping,
+it validates exactly the ``guarded_by``/``holds_lock`` axioms the static
+analyzer takes on trust.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, TypeVar
+
+__all__ = [
+    "LockAssertionError",
+    "acquires",
+    "assert_owned",
+    "asserts_enabled",
+    "guarded_by",
+    "holds_lock",
+]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Environment variable gating the runtime ownership asserts.
+ASSERTS_ENV = "REPRO_LOCK_ASSERTS"
+
+
+class LockAssertionError(RuntimeError):
+    """A debug-mode lock-ownership assert failed: the static locking model
+    and the runtime disagree. This is always a bug — either a caller
+    reached guarded state without the lock, or an annotation is wrong."""
+
+
+def _annotate(attr: str, specs: tuple[str, ...]) -> Callable[[_F], _F]:
+    if not specs or not all(isinstance(s, str) and s for s in specs):
+        raise ValueError(f"{attr} requires at least one non-empty lock attribute name")
+
+    def decorate(fn: _F) -> _F:
+        merged = getattr(fn, attr, ()) + specs
+        setattr(fn, attr, merged)
+        return fn
+
+    return decorate
+
+
+def guarded_by(*lock_attrs: str) -> Callable[[_F], _F]:
+    """Declare that callers must hold the named lock(s) (checked: X002)."""
+    return _annotate("__guarded_by__", lock_attrs)
+
+
+def holds_lock(*lock_attrs: str) -> Callable[[_F], _F]:
+    """Declare the method runs with the lock(s) held by construction."""
+    return _annotate("__holds_lock__", lock_attrs)
+
+
+def acquires(*lock_attrs: str) -> Callable[[_F], _F]:
+    """Declare the method acquires (and releases) the lock(s) internally."""
+    return _annotate("__acquires__", lock_attrs)
+
+
+def asserts_enabled() -> bool:
+    """True when ``REPRO_LOCK_ASSERTS=1`` is set in the environment."""
+    return os.environ.get(ASSERTS_ENV) == "1"
+
+
+def assert_owned(lock, name: str = "lock") -> None:
+    """Debug-mode check that the calling thread owns ``lock``.
+
+    No-op unless :func:`asserts_enabled`. Ownership is read through the
+    lock's ``_is_owned()`` (RLock, Condition — both CPython
+    implementations expose it); primitive ``Lock`` objects carry no owner,
+    so the best available check is ``locked()``. Locks exposing neither
+    API are skipped rather than guessed at.
+    """
+    if not asserts_enabled():
+        return
+    is_owned = getattr(lock, "_is_owned", None)
+    if is_owned is not None:
+        owned = bool(is_owned())
+    else:
+        locked = getattr(lock, "locked", None)
+        if locked is None:
+            return
+        owned = bool(locked())
+    if not owned:
+        raise LockAssertionError(
+            f"{name} is not held by the calling thread; the static lock "
+            "model (guarded_by/holds_lock) disagrees with runtime behaviour"
+        )

@@ -155,7 +155,10 @@ class InterleavedExecutor:
         for handle in handles:
             validate_plan(handle.plan)
         sessions: dict[str, QueryHandle] = {}
-        turn_lock = threading.Lock()
+        # Not a sampling lock: it serializes on_turn callbacks and handle
+        # bookkeeping across worker threads. Each query's estimator state
+        # stays under its own TickBus lock.
+        turn_lock = threading.Lock()  # noqa: R006
 
         def on_step(session: QuerySession) -> None:
             handle = sessions[session.session_id]

@@ -28,6 +28,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.common.locks import acquires, assert_owned, guarded_by, holds_lock
 from repro.core.byte_estimator import ByteModelEstimator
 from repro.core.dne import DriverNodeEstimator
 from repro.core.manager import EstimationManager
@@ -76,6 +77,11 @@ class ProgressMonitor:
         callback; otherwise call :meth:`snapshot` manually.
     """
 
+    # Lock discipline: the snapshot list is appended from bus callbacks and
+    # read by the post-run analysis helpers; both sides take the sampling
+    # lock, so replay never observes a half-appended list.
+    _guarded_by_ = {"snapshots": "_lock"}
+
     def __init__(
         self,
         root: Operator,
@@ -113,15 +119,24 @@ class ProgressMonitor:
         # serializes against both concurrent snapshots and the estimator
         # mutations that happen inside pulls. Reentrant, because bus
         # callbacks snapshot from inside a pull that already holds it.
-        self._lock: threading.RLock = bus.lock if bus is not None else threading.RLock()
+        if bus is not None:
+            self._lock: threading.RLock = bus.lock
+        else:
+            # Bus-less monitors are driven manually from a single thread; a
+            # private RLock keeps snapshot() uniform without a TickBus.
+            self._lock = threading.RLock()  # noqa: R006
         if bus is not None:
             bus.subscribe(self._on_tick)
 
     # -- sampling ----------------------------------------------------------------
 
+    @holds_lock("_lock")
     def _on_tick(self, count: int) -> None:
+        # Bus callbacks only ever fire from inside a pull that owns the
+        # sampling lock, so appending here is race-free by construction.
         self.snapshots.append(self.snapshot(count))
 
+    @acquires("_lock")
     def snapshot(self, tick: int = -1) -> ProgressSnapshot:
         """Record current (C(Q), T̂(Q)) and per-pipeline states.
 
@@ -133,7 +148,9 @@ class ProgressMonitor:
         with self._lock:
             return self._snapshot_locked(tick)
 
+    @guarded_by("_lock")
     def _snapshot_locked(self, tick: int) -> ProgressSnapshot:
+        assert_owned(self._lock, "bus sampling lock")
         self.refresh_bounds()
         work_done = 0.0
         work_total = 0.0
@@ -154,6 +171,7 @@ class ProgressMonitor:
         )
         return snap
 
+    @guarded_by("_lock")
     def refresh_bounds(self) -> None:
         maxmult = self.manager.max_multiplicities() if self.manager else None
         self.bounds.refine(maxmult)
@@ -190,33 +208,46 @@ class ProgressMonitor:
 
     # -- post-run analysis -------------------------------------------------------------
 
+    @acquires("_lock")
     def true_total(self) -> float:
-        """T(Q): only meaningful after the query finished."""
-        return float(
-            sum(op.tuples_emitted for p in self.pipelines for op in p.operators)
-        )
+        """T(Q): only meaningful after the query finished.
 
+        Takes the sampling lock so pinning a finished session's total from
+        a snapshot thread (``MultiQueryProgressMonitor``, the server's
+        finished-session path) reads a consistent counter sum even while
+        sibling plans on the same bus are still executing.
+        """
+        with self._lock:
+            return float(
+                sum(op.tuples_emitted for p in self.pipelines for op in p.operators)
+            )
+
+    @acquires("_lock")
     def ratio_errors(self) -> list[tuple[float, float]]:
         """``(actual progress, ratio error R)`` per snapshot.
 
         R = T'(Q)/T(Q) = actual progress / estimated progress; R = 1 is a
         perfect progress estimate (paper, Section 5.1).
         """
-        true_total = self.true_total()
-        if true_total <= 0:
-            return []
-        out = []
-        for snap in self.snapshots:
-            actual = snap.work_done / true_total
-            ratio = snap.work_total_estimate / true_total
-            out.append((actual, ratio))
-        return out
+        with self._lock:
+            true_total = self.true_total()
+            if true_total <= 0:
+                return []
+            out = []
+            for snap in self.snapshots:
+                actual = snap.work_done / true_total
+                ratio = snap.work_total_estimate / true_total
+                out.append((actual, ratio))
+            return out
 
+    @acquires("_lock")
     def progress_curve(self) -> list[tuple[float, float]]:
         """``(actual progress, estimated progress)`` per snapshot."""
-        true_total = self.true_total()
-        if true_total <= 0:
-            return []
-        return [
-            (snap.work_done / true_total, snap.progress) for snap in self.snapshots
-        ]
+        with self._lock:
+            true_total = self.true_total()
+            if true_total <= 0:
+                return []
+            return [
+                (snap.work_done / true_total, snap.progress)
+                for snap in self.snapshots
+            ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import ExecutorError
+from repro.common.locks import acquires, holds_lock
 from repro.executor.operators.base import Operator
 from repro.executor.plan import validate_plan
 
@@ -43,6 +44,15 @@ class TickBus:
 
     __slots__ = ("count", "interval", "callbacks", "lock")
 
+    # Lock discipline (machine-checked by repro.analysis.concurrency):
+    # ``lock`` is the plan-wide *critical* sampling lock — nothing may block
+    # while holding it (X005). ``count`` is read and written only under it;
+    # ``callbacks`` holds an immutable tuple that is swapped under the lock
+    # and may be read lock-free (the immutable-snapshot pattern).
+    _critical_locks_ = ("lock",)
+    _guarded_by_ = {"count": "lock"}
+    _write_guarded_by_ = {"callbacks": "lock"}
+
     def __init__(self, interval: int = 1000):
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
@@ -51,12 +61,14 @@ class TickBus:
         self.callbacks: tuple[Callable[[int], None], ...] = ()
         self.lock = threading.RLock()
 
+    @holds_lock("lock")
     def tick(self) -> None:
         self.count += 1
         if self.count % self.interval == 0:
             for cb in self.callbacks:
                 cb(self.count)
 
+    @holds_lock("lock")
     def tick_n(self, k: int) -> None:
         """Advance the counter by ``k`` units in one call.
 
@@ -73,10 +85,12 @@ class TickBus:
             for cb in self.callbacks:
                 cb(self.count)
 
+    @acquires("lock")
     def subscribe(self, callback: Callable[[int], None]) -> None:
         with self.lock:
             self.callbacks = (*self.callbacks, callback)
 
+    @acquires("lock")
     def unsubscribe(self, callback: Callable[[int], None]) -> None:
         """Detach ``callback``; unknown callbacks are ignored.
 
@@ -140,6 +154,7 @@ class PlanCursor:
         self._opened = True
         self.root.open()
 
+    @acquires("bus.lock")
     def fetch(self, max_rows: int) -> list[tuple]:
         """Pull up to ``max_rows`` rows; ``[]`` means the plan is exhausted.
 
@@ -221,6 +236,7 @@ class ExecutionEngine:
         if bus is not None:
             root.attach_bus(bus)
 
+    @acquires("bus.lock")
     def run(
         self,
         row_callback: Callable[[tuple], None] | None = None,

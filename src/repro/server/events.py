@@ -21,6 +21,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 
+from repro.common.locks import acquires
+
 __all__ = ["EventBus", "Subscription"]
 
 
@@ -32,6 +34,13 @@ class Subscription:
     down) and the mailbox has drained.
     """
 
+    # The mailbox and drop counter live under the condition's lock;
+    # ``_closed`` is a write-guarded latch (bool swap) that ``closed`` may
+    # read lock-free — it only ever goes False -> True, and a stale False
+    # just means one extra get() round-trip.
+    _guarded_by_ = {"_events": "_cond", "dropped": "_cond"}
+    _write_guarded_by_ = {"_closed": "_cond"}
+
     def __init__(self, bus: "EventBus", maxlen: int):
         self._bus = bus
         self._cond = threading.Condition()
@@ -39,6 +48,7 @@ class Subscription:
         self._closed = False
         self.dropped = 0
 
+    @acquires("_cond")
     def _push(self, event: dict) -> None:
         with self._cond:
             if self._closed:
@@ -48,6 +58,7 @@ class Subscription:
             self._events.append(event)
             self._cond.notify()
 
+    @acquires("_cond")
     def _mark_closed(self) -> None:
         with self._cond:
             self._closed = True
@@ -57,6 +68,7 @@ class Subscription:
     def closed(self) -> bool:
         return self._closed
 
+    @acquires("_cond")
     def get(self, timeout: float | None = None) -> dict | None:
         """Next event; ``None`` once closed and drained.
 
@@ -90,6 +102,12 @@ class Subscription:
 class EventBus:
     """Fan-out of progress events to any number of subscriptions."""
 
+    # Subscription tuple + closed latch are swapped under ``_lock`` and
+    # read lock-free (the immutable-snapshot pattern): publish() iterates
+    # whatever tuple it sees, so a subscriber detaching mid-fire is
+    # harmless and publishers never contend with subscribe/unsubscribe.
+    _write_guarded_by_ = {"_subs": "_lock", "_closed": "_lock"}
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._subs: tuple[Subscription, ...] = ()
@@ -99,6 +117,7 @@ class EventBus:
     def subscriber_count(self) -> int:
         return len(self._subs)
 
+    @acquires("_lock")
     def subscribe(self, maxlen: int = 256) -> Subscription:
         if maxlen < 1:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
@@ -110,6 +129,7 @@ class EventBus:
                 self._subs = (*self._subs, sub)
         return sub
 
+    @acquires("_lock")
     def unsubscribe(self, sub: Subscription) -> None:
         """Detach ``sub``; unknown subscriptions are ignored."""
         with self._lock:
@@ -121,6 +141,7 @@ class EventBus:
         for sub in self._subs:
             sub._push(event)
 
+    @acquires("_lock")
     def close(self) -> None:
         """Shut the bus down; all subscriptions drain and then end."""
         with self._lock:

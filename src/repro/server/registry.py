@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.common.locks import acquires
 from repro.server.session import SessionSnapshot, SessionState, QuerySession
 
 __all__ = ["SessionRegistry", "WorkloadView"]
@@ -75,10 +76,16 @@ class WorkloadView:
 class SessionRegistry:
     """Registry of every session the service has accepted."""
 
+    # The session table is the only mutable state; every access goes
+    # through ``_lock``, and readers get fresh list copies (never the
+    # dict itself), so callers cannot race a concurrent submit/remove.
+    _guarded_by_ = {"_sessions": "_lock"}
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._sessions: dict[str, QuerySession] = {}
 
+    @acquires("_lock")
     def add(self, session: QuerySession) -> QuerySession:
         with self._lock:
             if session.session_id in self._sessions:
@@ -86,14 +93,17 @@ class SessionRegistry:
             self._sessions[session.session_id] = session
         return session
 
+    @acquires("_lock")
     def get(self, session_id: str) -> QuerySession | None:
         with self._lock:
             return self._sessions.get(session_id)
 
+    @acquires("_lock")
     def remove(self, session_id: str) -> None:
         with self._lock:
             self._sessions.pop(session_id, None)
 
+    @acquires("_lock")
     def sessions(self) -> list[QuerySession]:
         with self._lock:
             return list(self._sessions.values())
@@ -101,6 +111,7 @@ class SessionRegistry:
     def snapshots(self) -> list[SessionSnapshot]:
         return [session.snapshot() for session in self.sessions()]
 
+    @acquires("_lock")
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)

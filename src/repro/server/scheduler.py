@@ -33,6 +33,7 @@ import collections
 import threading
 from typing import Callable
 
+from repro.common.locks import acquires, guarded_by
 from repro.server.session import QuerySession
 
 __all__ = ["AdmissionError", "POLICIES", "Scheduler"]
@@ -46,6 +47,19 @@ class AdmissionError(RuntimeError):
 
 class Scheduler:
     """Run many sessions over few threads, one quantum at a time."""
+
+    # Every piece of scheduler state lives under the one condition
+    # variable: queue, counters, worker table and the stop flag all change
+    # together at pick/requeue boundaries, and the waits below predicate
+    # on combinations of them.
+    _guarded_by_ = {
+        "_ready": "_cond",
+        "_pending": "_cond",
+        "_stepping": "_cond",
+        "_stop": "_cond",
+        "_threads": "_cond",
+        "steps_taken": "_cond",
+    }
 
     def __init__(
         self,
@@ -76,6 +90,7 @@ class Scheduler:
 
     # -- lifecycle ---------------------------------------------------------------
 
+    @acquires("_cond")
     def start(self) -> None:
         """Spawn the worker pool (idempotent)."""
         with self._cond:
@@ -91,14 +106,20 @@ class Scheduler:
                 self._threads.append(thread)
                 thread.start()
 
+    @acquires("_cond")
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers. Queued sessions are left unstepped; running
         quanta complete (a quantum is the preemption unit here too)."""
         with self._cond:
             self._stop = True
             self._cond.notify_all()
+            # Copy under the lock: a concurrent start() may still be
+            # appending worker threads, and joining must iterate a stable
+            # list (the joins themselves happen outside the lock so a
+            # draining worker can re-enter the condition).
+            threads = list(self._threads)
         if wait:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout=30.0)
 
     def __enter__(self) -> "Scheduler":
@@ -110,6 +131,7 @@ class Scheduler:
 
     # -- submission --------------------------------------------------------------
 
+    @acquires("_cond")
     def submit(self, session: QuerySession) -> QuerySession:
         """Admit ``session`` for execution, or raise :class:`AdmissionError`."""
         with self._cond:
@@ -126,6 +148,7 @@ class Scheduler:
         self.start()
         return session
 
+    @acquires("_cond")
     def join(self, timeout: float | None = None) -> bool:
         """Block until every admitted session reached a terminal state."""
         with self._cond:
@@ -137,12 +160,14 @@ class Scheduler:
         return self.join(timeout)
 
     @property
+    @acquires("_cond")
     def pending(self) -> int:
         with self._cond:
             return self._pending
 
     # -- the worker loop ---------------------------------------------------------
 
+    @guarded_by("_cond")
     def _pick_locked(self) -> QuerySession:
         if self.policy == "fair" or len(self._ready) == 1:
             return self._ready.popleft()
@@ -155,6 +180,7 @@ class Scheduler:
         self._ready.rotate(best_idx)
         return session
 
+    @acquires("_cond")
     def _worker_loop(self) -> None:
         while True:
             with self._cond:

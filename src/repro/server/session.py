@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.common.locks import acquires, assert_owned, guarded_by, holds_lock
 from repro.core.progress import ProgressMonitor, ProgressSnapshot
 from repro.executor.engine import PlanCursor, TickBus
 from repro.executor.operators.base import Operator
@@ -114,6 +115,36 @@ class QuerySession:
         cancels the session with a timeout error.
     """
 
+    # Lock discipline (machine-checked by repro.analysis.concurrency).
+    # ``_step_lock`` serializes execution: every state transition and every
+    # piece of run bookkeeping is written only by the thread stepping the
+    # quantum. ``_snap_lock`` is the cheap observation lock: snapshot
+    # sequencing and the high-water mark are touched by arbitrary reader
+    # threads, so they get their own mutex — readers never contend with a
+    # running quantum. ``_cancel_reason`` is deliberately unguarded: cancel
+    # must take effect without blocking behind a quantum in flight (the
+    # Event provides the ordering).
+    _guarded_by_ = {
+        "_high_water": "_snap_lock",
+        "_snap_seq": "_snap_lock",
+    }
+    # Written only under the lock; read lock-free. Every field below holds
+    # either an immutable value (str/float/enum/frozen snapshot/tuple) that
+    # is swapped atomically, or — for ``rows`` — a list that only grows and
+    # is copied on read.
+    _write_guarded_by_ = {
+        "state": "_step_lock",
+        "row_count": "_step_lock",
+        "rows": "_step_lock",
+        "error": "_step_lock",
+        "started_at": "_step_lock",
+        "finished_at": "_step_lock",
+        "_deadline": "_step_lock",
+        "_ticked_this_quantum": "_step_lock",
+        "_last_progress": "_step_lock",
+        "listeners": "_snap_lock",
+    }
+
     def __init__(
         self,
         plan: Operator,
@@ -154,12 +185,13 @@ class QuerySession:
         self.created_at = time.monotonic()
         self.started_at: float | None = None
         self.finished_at: float | None = None
-        self.listeners: list[Callable[["QuerySession", SessionSnapshot], None]] = []
+        self.listeners: tuple[Callable[["QuerySession", SessionSnapshot], None], ...] = ()
         self._step_lock = threading.RLock()
+        self._snap_lock = threading.Lock()
         self._cancel = threading.Event()
         self._cancel_reason: str | None = None
         self._deadline: float | None = None
-        self._seq = itertools.count(1)
+        self._snap_seq = 0
         self._last_progress: ProgressSnapshot | None = None
         self._high_water = 0.0
         self._ticked_this_quantum = False
@@ -167,22 +199,37 @@ class QuerySession:
 
     # -- observation -------------------------------------------------------------
 
+    @acquires("_snap_lock")
     def add_listener(
         self, listener: Callable[["QuerySession", SessionSnapshot], None]
     ) -> None:
-        """Register a callback invoked with every published snapshot."""
-        self.listeners.append(listener)
+        """Register a callback invoked with every published snapshot.
 
+        The listener tuple is swapped under ``_snap_lock`` and iterated
+        lock-free by :meth:`_publish` — a listener attached mid-run joins
+        at the next publish, and publishing never blocks on registration.
+        """
+        with self._snap_lock:
+            self.listeners = (*self.listeners, listener)
+
+    @holds_lock("bus.lock", "_step_lock")
     def _on_bus_tick(self, _count: int) -> None:
         # Fired by the executing thread, including from deep inside
-        # blocking phases. The monitor's own subscription ran first (it
-        # subscribed in its constructor), so its freshest snapshot is the
-        # last list entry — reuse it instead of sampling twice.
+        # blocking phases — for a session, every pull happens in step(),
+        # so the tick arrives with both the sampling lock and the step
+        # lock held by construction. The monitor's own subscription ran
+        # first (it subscribed in its constructor), so its freshest
+        # snapshot is the last list entry — reuse it instead of sampling
+        # twice.
+        assert_owned(self.bus.lock, "bus sampling lock")
+        assert_owned(self._step_lock, "session step lock")
         if self.monitor.snapshots:
             self._ticked_this_quantum = True
             self._last_progress = self.monitor.snapshots[-1]
             self._publish()
 
+    @guarded_by("_step_lock")
+    @acquires("_snap_lock")
     def _publish(self) -> None:
         snap = self.snapshot()
         for listener in self.listeners:
@@ -197,22 +244,38 @@ class QuerySession:
         end = self.finished_at if self.finished_at is not None else time.monotonic()
         return max(end - start, 0.0)
 
+    @acquires("_step_lock")
     def remaining_work(self) -> float:
         """Live ``T̂(Q) − C(Q)``: the scheduler's shortest-expected-
-        remaining-work key. Terminal sessions report 0."""
+        remaining-work key. Terminal sessions report 0.
+
+        Takes the step lock: the not-yet-started branch below *writes*
+        ``_last_progress``, and the scheduler calls this from its policy
+        loop. Uncontended in practice — the scheduler only ranks sessions
+        that are queued, never one a worker is currently stepping.
+        """
         if self.state in TERMINAL_STATES:
             return 0.0
-        progress = self._last_progress
-        if progress is None:
-            # Not yet started: prime from optimizer estimates. Safe — no
-            # thread is executing this plan before its first step.
-            progress = self.monitor.snapshot()
-            self._last_progress = progress
+        with self._step_lock:
+            progress = self._last_progress
+            if progress is None:
+                # Not yet started: prime from optimizer estimates. Safe — no
+                # thread is executing this plan before its first step.
+                progress = self.monitor.snapshot()
+                self._last_progress = progress
         return max(progress.work_total_estimate - progress.work_done, 0.0)
 
+    @acquires("_snap_lock")
     def snapshot(self) -> SessionSnapshot:
         """Current progress view, safe from any thread (never samples the
-        live plan; reads the last snapshot the executing thread published)."""
+        live plan; reads the last snapshot the executing thread published).
+
+        Lock order: the finished-session pinning below takes the bus
+        sampling lock (inside ``true_total``) *before* ``_snap_lock`` is
+        acquired, keeping the acquisition order acyclic against the
+        publish path, which reaches here already holding the sampling
+        lock.
+        """
         state = self.state
         progress = self._last_progress
         if state is SessionState.FINISHED:
@@ -227,13 +290,17 @@ class QuerySession:
         else:
             done = total = 0.0
             frac = 0.0
-        self._high_water = max(self._high_water, frac)
+        with self._snap_lock:
+            self._high_water = max(self._high_water, frac)
+            self._snap_seq += 1
+            seq = self._snap_seq
+            high_water = self._high_water
         return SessionSnapshot(
             session_id=self.session_id,
             name=self.name,
             state=state.value,
-            seq=next(self._seq),
-            progress=self._high_water if state is not SessionState.FINISHED else 1.0,
+            seq=seq,
+            progress=high_water if state is not SessionState.FINISHED else 1.0,
             work_done=done,
             work_total_estimate=total,
             row_count=self.row_count,
@@ -253,6 +320,7 @@ class QuerySession:
         self._cancel_reason = reason
         self._cancel.set()
 
+    @acquires("_step_lock")
     def step(self, quantum_rows: int | None = None) -> bool:
         """Advance by one quantum. Returns True while more work remains.
 
@@ -262,6 +330,7 @@ class QuerySession:
         and the worker is free.
         """
         with self._step_lock:
+            assert_owned(self._step_lock, "session step lock")
             if self.state in TERMINAL_STATES:
                 return False
             if self._cancel.is_set():
@@ -305,7 +374,9 @@ class QuerySession:
             self._ticked_this_quantum = False
             return True
 
+    @guarded_by("_step_lock")
     def _finalize(self, state: SessionState, error: str | None) -> None:
+        assert_owned(self._step_lock, "session step lock")
         self.error = error
         if self.cursor.opened and not self.cursor.closed:
             # Sample *before* close: closing marks every pipeline finished,

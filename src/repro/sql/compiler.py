@@ -304,5 +304,7 @@ def run_query(
         wall_time_s=result.wall_time_s,
         columns=compiled.plan.output_schema.names(),
         monitor=monitor,
-        snapshots=monitor.snapshots if monitor else [],
+        # Post-run, single-threaded: engine.run() returned, so no thread
+        # can still be appending snapshots.
+        snapshots=monitor.snapshots if monitor else [],  # noqa: X001
     )

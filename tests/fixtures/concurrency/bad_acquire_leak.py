@@ -1,0 +1,22 @@
+"""X003 positive: ``acquire()`` without an immediate try/finally release."""
+
+import threading
+
+
+class Leaky:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def update_safe(self, value: int) -> None:
+        self.lock.acquire()
+        try:
+            self.value = value
+        finally:
+            self.lock.release()
+
+    def update_leaky(self, value: int) -> None:
+        # X003: an exception between acquire() and release() leaks the lock.
+        self.lock.acquire()
+        self.value = value
+        self.lock.release()

@@ -1,0 +1,23 @@
+"""X005 positive: blocking call while holding a critical (sampling) lock."""
+
+import threading
+import time
+
+
+class Sampler:
+    _critical_locks_ = ("lock",)
+    _guarded_by_ = {"samples": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        with self.lock:
+            self.samples.append(value)
+
+    def record_slow(self, value: float) -> None:
+        with self.lock:
+            # X005: sleeping under the sampling lock stalls every producer.
+            time.sleep(0.01)
+            self.samples.append(value)

@@ -1,0 +1,27 @@
+"""X006 positive: guarded mutable state escapes its lock's protection."""
+
+import threading
+
+
+class Escaper:
+    _guarded_by_ = {"rows": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.rows: list[int] = []
+
+    def rows_copy(self) -> list[int]:
+        with self.lock:
+            return list(self.rows)
+
+    def rows_racy(self) -> list[int]:
+        with self.lock:
+            # X006: returns the guarded list itself; callers mutate or
+            # iterate it after the lock is released.
+            return self.rows
+
+    def spawn_racy(self) -> threading.Thread:
+        # X006: hands the guarded list to another thread.
+        worker = threading.Thread(target=sorted, args=(self.rows,))
+        worker.start()
+        return worker

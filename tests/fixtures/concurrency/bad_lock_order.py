@@ -1,0 +1,24 @@
+"""X004 positive: two methods acquire the same locks in opposite orders."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance_a = 0
+        self.balance_b = 0
+
+    def move_ab(self, amount: int) -> None:
+        with self.lock_a:
+            with self.lock_b:
+                self.balance_a -= amount
+                self.balance_b += amount
+
+    def move_ba(self, amount: int) -> None:
+        # X004: lock_b -> lock_a inverts move_ab's lock_a -> lock_b order.
+        with self.lock_b:
+            with self.lock_a:
+                self.balance_b -= amount
+                self.balance_a += amount

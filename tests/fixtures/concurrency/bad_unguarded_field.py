@@ -1,0 +1,23 @@
+"""X001 positive: guarded attribute touched without holding its lock."""
+
+import threading
+
+
+class Counter:
+    _guarded_by_ = {"count": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.count = 0
+
+    def bump_locked(self) -> None:
+        with self.lock:
+            self.count += 1
+
+    def bump_racy(self) -> None:
+        # X001: write to ``count`` without ``lock`` held.
+        self.count += 1
+
+    def peek_racy(self) -> int:
+        # X001: read of ``count`` without ``lock`` held.
+        return self.count

@@ -1,0 +1,23 @@
+"""X002 positive: ``@guarded_by`` method called without the lock held."""
+
+import threading
+
+from repro.common.locks import guarded_by
+
+
+class Store:
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.items: list[int] = []
+
+    @guarded_by("lock")
+    def _append_locked(self, item: int) -> None:
+        self.items.append(item)
+
+    def add_safe(self, item: int) -> None:
+        with self.lock:
+            self._append_locked(item)
+
+    def add_racy(self, item: int) -> None:
+        # X002: callee requires ``lock`` but the caller never takes it.
+        self._append_locked(item)

@@ -1,0 +1,124 @@
+"""Clean fixture: every pattern here follows the lock discipline.
+
+Each class is the negative twin of one seeded-race fixture; the analyzer
+must report nothing for this file.
+"""
+
+import threading
+import time
+
+from repro.common.locks import acquires, guarded_by, holds_lock
+
+
+class GuardedCounter:
+    """X001 negative: all guarded access happens under the lock."""
+
+    _guarded_by_ = {"count": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.count = 0
+
+    @acquires("lock")
+    def bump(self) -> None:
+        with self.lock:
+            self.count += 1
+
+    @guarded_by("lock")
+    def reset_locked(self) -> None:
+        self.count = 0
+
+
+class LockedCalls:
+    """X002 negative: guarded callees invoked only with the lock held."""
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.items: list[int] = []
+
+    @guarded_by("lock")
+    def _append_locked(self, item: int) -> None:
+        self.items.append(item)
+
+    @holds_lock("lock")
+    def on_tick(self, item: int) -> None:
+        # Held by construction (e.g. called from inside the lock's owner).
+        self._append_locked(item)
+
+    @acquires("lock")
+    def add(self, item: int) -> None:
+        with self.lock:
+            self._append_locked(item)
+
+
+class CarefulAcquire:
+    """X003 negative: manual acquire() is paired with try/finally."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.value = 0
+
+    def update(self, value: int) -> None:
+        self.lock.acquire()
+        try:
+            self.value = value
+        finally:
+            self.lock.release()
+
+
+class OrderedTransfer:
+    """X004 negative: both paths take lock_a before lock_b."""
+
+    def __init__(self) -> None:
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance_a = 0
+        self.balance_b = 0
+
+    def move_ab(self, amount: int) -> None:
+        with self.lock_a:
+            with self.lock_b:
+                self.balance_a -= amount
+                self.balance_b += amount
+
+    def move_ba(self, amount: int) -> None:
+        with self.lock_a:
+            with self.lock_b:
+                self.balance_b -= amount
+                self.balance_a += amount
+
+
+class PatientSampler:
+    """X005 negative: blocking work happens outside the critical lock."""
+
+    _critical_locks_ = ("lock",)
+    _guarded_by_ = {"samples": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.samples: list[float] = []
+
+    def record_slow(self, value: float) -> None:
+        time.sleep(0.01)
+        with self.lock:
+            self.samples.append(value)
+
+
+class CopyOut:
+    """X006 negative: only snapshots and immutable values leave the lock."""
+
+    _guarded_by_ = {"rows": "lock", "high_water": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.rows: list[int] = []
+        self.high_water = 0
+
+    def rows_copy(self) -> list[int]:
+        with self.lock:
+            return list(self.rows)
+
+    def peak(self) -> int:
+        with self.lock:
+            # Immutable value publication, not an aliasing escape.
+            return self.high_water

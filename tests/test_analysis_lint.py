@@ -105,7 +105,67 @@ class TestEngine:
         assert ": R003 " in rendered
 
     def test_rules_registry_documents_every_rule(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+
+
+class TestR006BareLocks:
+    """Private locks are forbidden in executor/ and core/ (R006)."""
+
+    SOURCE = (
+        "import threading\n"
+        "class Estimator:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._rlock = threading.RLock()\n"
+    )
+
+    def _write(self, tmp_path, *parts, source=None):
+        target = tmp_path.joinpath(*parts)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source or self.SOURCE)
+        return str(target)
+
+    def test_bare_locks_flagged_in_executor_package(self, tmp_path):
+        path = self._write(tmp_path, "repro", "executor", "bad_locks.py")
+        violations = lint_paths([path], rules={"R006"})
+        assert len(violations) == 2
+        assert rules_of(violations) == {"R006"}
+        assert "sampling lock" in violations[0].message
+
+    def test_bare_locks_flagged_in_core_package(self, tmp_path):
+        path = self._write(tmp_path, "repro", "core", "bad_locks.py")
+        assert len(lint_paths([path], rules={"R006"})) == 2
+
+    def test_same_code_outside_scoped_packages_is_clean(self, tmp_path):
+        path = self._write(tmp_path, "repro", "server", "fine_locks.py")
+        assert lint_paths([path], rules={"R006"}) == []
+
+    def test_tickbus_is_exempt(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class TickBus:\n"
+            "    def __init__(self, interval=1000):\n"
+            "        self.lock = threading.RLock()\n"
+        )
+        path = self._write(tmp_path, "repro", "executor", "bus.py", source=source)
+        assert lint_paths([path], rules={"R006"}) == []
+
+    def test_noqa_suppresses_justified_lock(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class Turns:\n"
+            "    def __init__(self):\n"
+            "        self.turn_lock = threading.Lock()  # noqa: R006\n"
+        )
+        path = self._write(tmp_path, "repro", "core", "turns.py", source=source)
+        assert lint_paths([path], rules={"R006"}) == []
+
+    def test_shipped_executor_and_core_are_clean(self):
+        paths = [
+            str(REPO / "src" / "repro" / "executor"),
+            str(REPO / "src" / "repro" / "core"),
+        ]
+        assert lint_paths(paths, rules={"R006"}) == []
 
 
 class TestMain:

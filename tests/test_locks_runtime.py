@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.common.locks` — annotations and runtime asserts."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.locks import (
+    ASSERTS_ENV,
+    LockAssertionError,
+    acquires,
+    assert_owned,
+    asserts_enabled,
+    guarded_by,
+    holds_lock,
+)
+
+
+class TestDecorators:
+    def test_metadata_attached_and_function_unchanged(self) -> None:
+        @guarded_by("_lock")
+        def fn() -> int:
+            return 41
+
+        assert fn() == 41
+        assert fn.__guarded_by__ == ("_lock",)
+
+    def test_each_decorator_uses_its_own_attribute(self) -> None:
+        @guarded_by("a")
+        @holds_lock("b")
+        @acquires("c", "d")
+        def fn() -> None:
+            pass
+
+        assert fn.__guarded_by__ == ("a",)
+        assert fn.__holds_lock__ == ("b",)
+        assert fn.__acquires__ == ("c", "d")
+
+    def test_stacked_same_decorator_merges_specs(self) -> None:
+        @guarded_by("outer")
+        @guarded_by("inner")
+        def fn() -> None:
+            pass
+
+        assert set(fn.__guarded_by__) == {"outer", "inner"}
+
+    @pytest.mark.parametrize("deco", [guarded_by, holds_lock, acquires])
+    def test_empty_specs_rejected(self, deco) -> None:
+        with pytest.raises(ValueError):
+            deco()
+        with pytest.raises(ValueError):
+            deco("")
+
+
+class TestAssertsGate:
+    def test_disabled_by_default(self, monkeypatch) -> None:
+        monkeypatch.delenv(ASSERTS_ENV, raising=False)
+        assert not asserts_enabled()
+        # Never raises with the gate closed, even on an unheld lock.
+        assert_owned(threading.RLock())
+
+    def test_enabled_only_on_exactly_one(self, monkeypatch) -> None:
+        monkeypatch.setenv(ASSERTS_ENV, "1")
+        assert asserts_enabled()
+        monkeypatch.setenv(ASSERTS_ENV, "true")
+        assert not asserts_enabled()
+
+
+class TestAssertOwned:
+    @pytest.fixture(autouse=True)
+    def _enable(self, monkeypatch):
+        monkeypatch.setenv(ASSERTS_ENV, "1")
+
+    def test_rlock_held_passes(self) -> None:
+        lock = threading.RLock()
+        with lock:
+            assert_owned(lock)
+
+    def test_rlock_unheld_raises(self) -> None:
+        with pytest.raises(LockAssertionError):
+            assert_owned(threading.RLock(), "sampling lock")
+
+    def test_rlock_held_by_other_thread_raises(self) -> None:
+        lock = threading.RLock()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def holder() -> None:
+            with lock:
+                acquired.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            assert acquired.wait(timeout=5)
+            # RLock ownership is per-thread: held elsewhere still raises here.
+            with pytest.raises(LockAssertionError):
+                assert_owned(lock)
+        finally:
+            release.set()
+            thread.join(timeout=5)
+
+    def test_condition_held_passes(self) -> None:
+        cond = threading.Condition()
+        with cond:
+            assert_owned(cond)
+        with pytest.raises(LockAssertionError):
+            assert_owned(cond)
+
+    def test_primitive_lock_falls_back_to_locked(self) -> None:
+        lock = threading.Lock()
+        with lock:
+            assert_owned(lock)
+        with pytest.raises(LockAssertionError):
+            assert_owned(lock)
+
+    def test_object_without_lock_api_is_skipped(self) -> None:
+        assert_owned(object())
+
+    def test_error_message_names_the_lock(self) -> None:
+        with pytest.raises(LockAssertionError, match="bus sampling lock"):
+            assert_owned(threading.RLock(), "bus sampling lock")

@@ -56,8 +56,12 @@ class TestScheduler:
         for i, s in enumerate(sessions):
             assert s.row_count == expected[i]
 
-    def test_admission_control(self):
+    def test_admission_control(self, monkeypatch):
         sched = Scheduler(workers=1, max_pending=2)
+        # Keep the worker threads parked: admission is checked in submit()
+        # before start(), and a running worker could otherwise drain a
+        # session between submits and free a slot (flaky under load).
+        monkeypatch.setattr(sched, "start", lambda: None)
         sessions = make_sessions(3)
         try:
             sched.submit(sessions[0])
