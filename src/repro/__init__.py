@@ -45,6 +45,13 @@ from repro.core import (
 )
 from repro.datagen import customer_variant, generate_tpch
 from repro.executor import ExecutionEngine, TickBus, col, decompose_pipelines, explain, lit
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    TransientFault,
+    parse_fault_spec,
+)
 from repro.executor.operators import (
     AggregateSpec,
     Filter,
@@ -78,6 +85,8 @@ __all__ = [
     "DriverNodeEstimator",
     "EstimationManager",
     "ExecutionEngine",
+    "FaultPlan",
+    "FaultSpec",
     "Filter",
     "FrequencyHistogram",
     "GEEEstimator",
@@ -88,6 +97,7 @@ __all__ = [
     "HybridGroupCountEstimator",
     "IndexNestedLoopsJoin",
     "IndexScan",
+    "InjectedFault",
     "JoinSpec",
     "Limit",
     "MLEEstimator",
@@ -106,6 +116,7 @@ __all__ = [
     "SortMergeJoin",
     "Table",
     "TickBus",
+    "TransientFault",
     "annotate_plan",
     "attach_once_estimator",
     "col",
@@ -116,5 +127,6 @@ __all__ = [
     "find_hash_join_chains",
     "generate_tpch",
     "lit",
+    "parse_fault_spec",
     "run_query",
 ]

@@ -238,8 +238,14 @@ def cmd_bench_overhead(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.faults import parse_fault_spec
     from repro.server.service import ProgressService
 
+    try:
+        faults = parse_fault_spec(args.faults) if args.faults else None
+    except ValueError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
     catalog = _build_catalog(args)
     service = ProgressService(
         catalog,
@@ -253,6 +259,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         sample_fraction=args.sample,
         default_timeout_s=args.timeout,
+        faults=faults,
     )
     host, port = service.start()
     print(
@@ -260,6 +267,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"({args.workers} workers, policy={args.policy})",
         file=sys.stderr,
     )
+    if service.faults is not None:
+        sites = sorted({spec.site for spec in service.faults.specs})
+        print(
+            f"fault injection ACTIVE (seed={service.faults.seed}, "
+            f"sites: {', '.join(sites)})",
+            file=sys.stderr,
+        )
     try:
         service.serve_forever()
     except KeyboardInterrupt:
@@ -465,6 +479,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     s.add_argument("--max-pending", type=int, default=64, help="admission-control bound")
     s.add_argument(
         "--timeout", type=float, default=None, help="default per-session timeout (s)"
+    )
+    s.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministic fault-injection spec, e.g. "
+            "'seed=42; scan.read:error:rate=0.01:count=2' "
+            "(defaults to the REPRO_FAULTS environment variable; see docs/FAULTS.md)"
+        ),
     )
     s.set_defaults(func=cmd_serve)
 

@@ -18,9 +18,22 @@ per-operator rules (Section 4.4):
 ``estimate_for(op)`` then answers with the best current refined estimate
 (or None when the operator has no attached estimator), and ``is_exact(op)``
 says whether that estimate has converged to the true cardinality.
+
+Graceful degradation
+--------------------
+:meth:`EstimationManager.harden` wraps every attached estimator hook in a
+guard. A hook that raises no longer unwinds the executor pull (which would
+fail the whole query for the sake of a *progress estimate*): the guard
+demotes the owning estimator — detaching it from the manager's registries,
+so ``estimate_for`` returns None and the progress layer falls back to the
+driver-node estimator — records the reason, and execution continues. The
+demotion is exactly the paper's degradation ladder (chain → binary ONCE →
+dne) taken to its last rung at runtime instead of attach time.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.common.errors import EstimationError
 from repro.core.aggregate_estimators import (
@@ -40,9 +53,25 @@ from repro.executor.operators.distinct import Distinct
 from repro.executor.operators.hash_join import HashJoin
 from repro.executor.operators.merge_join import SortMergeJoin
 from repro.executor.operators.nested_loops import IndexNestedLoopsJoin
+from repro.executor.operators.base import batch_hook_of
 from repro.executor.plan import walk
+from repro.faults.plan import SITE_ESTIMATOR_HOOK, FaultPlan
 
 __all__ = ["EstimationManager"]
+
+#: Every operator attribute that may carry per-row estimator hooks; the
+#: degradation guard wraps each of these lists in place.
+_HOOK_LIST_ATTRS = (
+    "build_hooks",
+    "probe_hooks",
+    "input_hooks",
+    "inner_input_hooks",
+    "outer_hooks",
+    "left_input_hooks",
+    "right_input_hooks",
+    "phase_hooks",
+    "sample_boundary_hooks",
+)
 
 
 class EstimationManager:
@@ -62,6 +91,13 @@ class EstimationManager:
         self.chain_of_join: dict[int, HashJoinChainEstimator] = {}
         self.group_estimators: dict[int, GroupCountEstimate] = {}
         self.fallbacks: list[tuple[Operator, str]] = []
+        # Runtime demotions performed by the hardening guards: (op, reason)
+        # pairs, in firing order. Non-empty <=> progress is "degraded".
+        self.demotions: list[tuple[Operator, str]] = []
+        self._hardened = False
+        self._demote_enabled = True
+        self._faults: FaultPlan | None = None
+        self._demoted_keys: set[int] = set()
         self._attach_joins()
         self._attach_aggregates()
 
@@ -148,6 +184,118 @@ class EstimationManager:
         except EstimationError as exc:
             self.fallbacks.append((op, f"push-down: {exc}"))
             return None
+
+    # -- graceful degradation -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Has any estimator been demoted at runtime?"""
+        return bool(self.demotions)
+
+    def harden(self, faults: FaultPlan | None = None, demote: bool = True) -> None:
+        """Wrap every attached estimator hook in a degradation guard.
+
+        With ``demote=True`` (the default), a hook that raises detaches its
+        owning estimator from the registries — ``estimate_for`` then
+        returns None and the progress layer falls back to dne — instead of
+        unwinding the executor pull. With ``demote=False`` the exception
+        propagates (used by the chaos harness's broken-degradation
+        meta-test to prove the harness catches a missing fallback).
+
+        ``faults`` arms the ``estimator.hook`` injection site inside the
+        guards. Idempotent; hooks registered *after* hardening are not
+        guarded.
+        """
+        if self._hardened:
+            return
+        self._hardened = True
+        self._demote_enabled = demote
+        self._faults = faults
+        for op in walk(self.root):
+            for attr in _HOOK_LIST_ATTRS:
+                hooks = getattr(op, attr, None)
+                if hooks:
+                    hooks[:] = [self._guard(hook, op) for hook in hooks]
+
+    def _guard(self, hook: Callable, op: Operator) -> Callable:
+        faults = self._faults
+
+        def run(fn: Callable, args: tuple) -> None:
+            try:
+                if faults is not None:
+                    faults.fire(SITE_ESTIMATOR_HOOK, detail=op.op_name)
+                fn(*args)
+            except Exception as exc:
+                if not self._demote_enabled:
+                    raise
+                self._demote(op, hook, exc)
+
+        def guarded(*args) -> None:
+            run(hook, args)
+
+        # Preserve the batch-twin pairing: the guarded row hook advertises a
+        # guarded batch twin, so make_batch_dispatch keeps amortizing.
+        twin = batch_hook_of(hook)
+        if twin is not None:
+            def guarded_batch(keys: list, rows: list) -> None:
+                run(twin, (keys, rows))
+
+            guarded.batch_hook = guarded_batch
+        return guarded
+
+    def _demote(self, op: Operator, hook: Callable, exc: Exception) -> None:
+        owner = getattr(hook, "__self__", None)
+        key = id(owner) if owner is not None else id(op)
+        if key in self._demoted_keys:
+            return  # already demoted; keep swallowing this hook's failures
+        self._demoted_keys.add(key)
+        reason = (
+            f"estimator hook failed at {op.describe()}: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        if not (
+            (owner is not None and self._detach_estimator(owner))
+            or self._detach_for_op(op)
+        ):
+            # Unattributable hook (a bare closure on an operator with no
+            # registered estimator): degrade everything rather than risk a
+            # poisoned estimate surviving.
+            self._detach_all()
+        self.demotions.append((op, reason))
+        self.fallbacks.append((op, reason))
+
+    def _detach_estimator(self, owner: object) -> bool:
+        removed = False
+        if owner in self.chain_estimators:
+            self.chain_estimators.remove(owner)
+            for join_id in [
+                j for j, chain in self.chain_of_join.items() if chain is owner
+            ]:
+                del self.chain_of_join[join_id]
+            removed = True
+        for op_id, est in list(self.join_estimators.items()):
+            if est is owner:
+                del self.join_estimators[op_id]
+                removed = True
+        for op_id, est in list(self.group_estimators.items()):
+            if est is owner or est.hybrid is owner:
+                del self.group_estimators[op_id]
+                removed = True
+        return removed
+
+    def _detach_for_op(self, op: Operator) -> bool:
+        chain = self.chain_of_join.get(id(op))
+        if chain is not None:
+            return self._detach_estimator(chain)
+        removed = self.join_estimators.pop(id(op), None) is not None
+        removed = (self.group_estimators.pop(id(op), None) is not None) or removed
+        return removed
+
+    def _detach_all(self) -> None:
+        self.chain_estimators.clear()
+        self.chain_of_join.clear()
+        self.join_estimators.clear()
+        self.group_estimators.clear()
 
     # -- queries ----------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.core.manager import EstimationManager
 from repro.executor.engine import TickBus
 from repro.executor.operators.base import Operator
 from repro.executor.pipeline import Pipeline, decompose_pipelines
+from repro.faults.plan import SITE_ESTIMATOR_HOOK, FaultPlan
 from repro.optimizer.bounds import CardinalityBounds
 from repro.storage.catalog import Catalog
 
@@ -45,13 +46,20 @@ MODES = ("once", "dne", "byte")
 
 @dataclass
 class ProgressSnapshot:
-    """One observation of query progress."""
+    """One observation of query progress.
+
+    ``degraded`` is True once any estimator has been demoted at runtime by
+    the graceful-degradation guards (the query keeps running on the dne
+    fallback); ``degraded_reason`` carries the most recent demotion reason.
+    """
 
     tick: int
     timestamp: float
     work_done: float
     work_total_estimate: float
     pipeline_states: dict[int, str] = field(default_factory=dict)
+    degraded: bool = False
+    degraded_reason: str | None = None
 
     @property
     def progress(self) -> float:
@@ -75,6 +83,17 @@ class ProgressMonitor:
     bus:
         When given, the monitor subscribes and records a snapshot per bus
         callback; otherwise call :meth:`snapshot` manually.
+    resilient:
+        Harden the estimator hooks (``"once"`` mode only): a hook that
+        raises demotes its estimator to the dne fallback and flags the
+        snapshots ``degraded`` instead of failing the query. Off by
+        default so the bare monitor keeps its measured overhead profile;
+        the server's sessions turn it on.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` arming the
+        ``estimator.hook`` injection site (hooks are wrapped even when
+        ``resilient`` is False, so the chaos meta-test can prove a missing
+        fallback fails the query).
     """
 
     # Lock discipline: the snapshot list is appended from bus callbacks and
@@ -89,6 +108,8 @@ class ProgressMonitor:
         catalog: Catalog | None = None,
         bus: TickBus | None = None,
         record_every: int = 0,
+        resilient: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -105,6 +126,15 @@ class ProgressMonitor:
             if mode == "once"
             else None
         )
+        if self.manager is not None:
+            wants_hook_faults = faults is not None and faults.has_site(
+                SITE_ESTIMATOR_HOOK
+            )
+            if resilient or wants_hook_faults:
+                self.manager.harden(
+                    faults=faults if wants_hook_faults else None,
+                    demote=resilient,
+                )
         self._dne = {p.pipeline_id: DriverNodeEstimator(p) for p in self.pipelines}
         self._byte = (
             {p.pipeline_id: ByteModelEstimator(p) for p in self.pipelines}
@@ -162,12 +192,15 @@ class ProgressMonitor:
                 k_i = float(op.tuples_emitted)
                 work_done += k_i
                 work_total += self._total_for(op, pipeline, status)
+        degraded = self.manager is not None and self.manager.degraded
         snap = ProgressSnapshot(
             tick=tick,
             timestamp=time.perf_counter() - self._started,
             work_done=work_done,
             work_total_estimate=max(work_total, work_done),
             pipeline_states=states,
+            degraded=degraded,
+            degraded_reason=self.manager.demotions[-1][1] if degraded else None,
         )
         return snap
 

@@ -20,6 +20,7 @@ from repro.common.errors import ExecutorError
 from repro.common.locks import acquires, holds_lock
 from repro.executor.operators.base import Operator
 from repro.executor.plan import validate_plan
+from repro.faults.plan import SHORT_READ, SITE_CURSOR_FETCH, FaultPlan
 
 __all__ = ["ExecutionEngine", "ExecutionResult", "PlanCursor", "TickBus"]
 
@@ -123,14 +124,26 @@ class PlanCursor:
     bus:
         Optional tick bus; attached to the subtree and ticked once per
         fetched batch via :meth:`TickBus.tick_n`.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`; installed on the subtree
+        (arming ``operator.pull`` / ``scan.read``) and probed at the
+        ``cursor.fetch`` site before each pull.
     """
 
-    def __init__(self, root: Operator, bus: TickBus | None = None):
+    def __init__(
+        self,
+        root: Operator,
+        bus: TickBus | None = None,
+        faults: FaultPlan | None = None,
+    ):
         self.root = root
         self.bus = bus
+        self.faults = faults
         self.operators = validate_plan(root)
         if bus is not None:
             root.attach_bus(bus)
+        if faults is not None:
+            root.attach_faults(faults)
         self.rows_pulled = 0
         self._opened = False
         self._closed = False
@@ -165,6 +178,15 @@ class PlanCursor:
         """
         if not self._opened or self._closed:
             raise ExecutorError("PlanCursor.fetch() outside open/close window")
+        if self.faults is not None:
+            # The one *retryable* boundary: fired before the bus lock is
+            # taken and before any operator runs, so nothing is mid-flight
+            # when a TransientFault unwinds — the caller may simply call
+            # fetch() again. (Also keeps injected stalls outside the
+            # critical sampling lock.)
+            spec = self.faults.fire(SITE_CURSOR_FETCH, detail=self.root.op_name)
+            if spec is not None and spec.kind == SHORT_READ:
+                max_rows = self.faults.short_read(max_rows)
         bus = self.bus
         if bus is not None:
             with bus.lock:
@@ -215,6 +237,10 @@ class ExecutionEngine:
         ``None`` (default) keeps the engine's overhead at bare structural
         validation — plans from :func:`repro.sql.compile_select` have
         already been analyzed there.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` installed on the plan for
+        deterministic fault injection (see docs/FAULTS.md). ``None`` keeps
+        every injection site a zero-cost no-op.
     """
 
     def __init__(
@@ -223,9 +249,11 @@ class ExecutionEngine:
         bus: TickBus | None = None,
         collect_rows: bool = True,
         analyze: str | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.root = root
         self.bus = bus
+        self.faults = faults
         self.collect_rows = collect_rows
         self.diagnostics = None
         if analyze is not None:
@@ -254,7 +282,7 @@ class ExecutionEngine:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         rows: list[tuple] | None = [] if self.collect_rows else None
         bus = self.bus
-        cursor = PlanCursor(self.root, bus=bus)
+        cursor = PlanCursor(self.root, bus=bus, faults=self.faults)
         started = time.perf_counter()
         cursor.open()
         try:

@@ -57,10 +57,12 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.common.errors import ExecutorError
+from repro.faults.plan import SHORT_READ, SITE_OPERATOR_PULL
 from repro.storage.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.executor.engine import TickBus
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["Operator", "OperatorState", "batch_hook_of", "make_batch_dispatch"]
 
@@ -150,6 +152,7 @@ class Operator(ABC):
         "phase",
         "node_id",
         "bus",
+        "faults",
         "phase_hooks",
         "estimated_cardinality",
     )
@@ -161,6 +164,7 @@ class Operator(ABC):
         self.phase: str = "init"
         self.node_id: int | None = None
         self.bus: "TickBus | None" = None
+        self.faults: "FaultPlan | None" = None
         self.phase_hooks: list[Callable[["Operator", str], None]] = []
         # Optimizer-estimated output cardinality; filled in by the planner
         # (or by hand in tests) and refined online by estimators.
@@ -202,6 +206,8 @@ class Operator(ABC):
             raise ExecutorError(
                 f"{self.op_name}: next() called in state {self.state.value}"
             )
+        if self.faults is not None:
+            self.faults.fire(SITE_OPERATOR_PULL, detail=self.op_name)
         row = self._next()
         if row is None:
             self.state = OperatorState.EXHAUSTED
@@ -230,6 +236,10 @@ class Operator(ABC):
             raise ExecutorError(
                 f"{self.op_name}: next_batch() needs max_rows >= 1, got {max_rows}"
             )
+        if self.faults is not None:
+            spec = self.faults.fire(SITE_OPERATOR_PULL, detail=self.op_name)
+            if spec is not None and spec.kind == SHORT_READ:
+                max_rows = self.faults.short_read(max_rows)
         batch = self._next_batch(max_rows)
         if not batch:
             self.state = OperatorState.EXHAUSTED
@@ -322,6 +332,17 @@ class Operator(ABC):
         self.bus = bus
         for child in self.children():
             child.attach_bus(bus)
+
+    def attach_faults(self, faults: "FaultPlan | None") -> None:
+        """Install a fault plan on this whole subtree (None to remove).
+
+        Arms the ``operator.pull`` site on every node and ``scan.read`` on
+        the leaves. Without a plan the probes are single ``is None``
+        checks, so unfaulted runs pay nothing measurable.
+        """
+        self.faults = faults
+        for child in self.children():
+            child.attach_faults(faults)
 
     # -- convenience ------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from itertools import islice
 from typing import Callable, Iterator
 
 from repro.executor.operators.base import Operator
+from repro.faults.plan import SHORT_READ, SITE_SCAN_READ
 from repro.storage.sampling import BlockSample, plan_block_sample
 from repro.storage.schema import Schema
 from repro.storage.table import Table
@@ -55,10 +56,19 @@ class SeqScan(Operator):
 
     def _next(self) -> tuple | None:
         assert self._iter is not None, "next() before open()"
+        if self.faults is not None:
+            self.faults.fire(SITE_SCAN_READ, detail=self.table.name)
         return next(self._iter, None)
 
     def _next_batch(self, max_rows: int) -> list[tuple]:
         assert self._iter is not None, "next_batch() before open()"
+        if self.faults is not None:
+            # Probe *before* touching the iterator: an injected error leaves
+            # the scan position untouched, and a short read only shrinks the
+            # budget (a short non-empty batch never implies exhaustion).
+            spec = self.faults.fire(SITE_SCAN_READ, detail=self.table.name)
+            if spec is not None and spec.kind == SHORT_READ:
+                max_rows = self.faults.short_read(max_rows)
         return list(islice(self._iter, max_rows))
 
     def _close(self) -> None:
@@ -128,10 +138,16 @@ class IndexScan(Operator):
 
     def _next(self) -> tuple | None:
         assert self._iter is not None, "next() before open()"
+        if self.faults is not None:
+            self.faults.fire(SITE_SCAN_READ, detail=self.table.name)
         return next(self._iter, None)
 
     def _next_batch(self, max_rows: int) -> list[tuple]:
         assert self._iter is not None, "next_batch() before open()"
+        if self.faults is not None:
+            spec = self.faults.fire(SITE_SCAN_READ, detail=self.table.name)
+            if spec is not None and spec.kind == SHORT_READ:
+                max_rows = self.faults.short_read(max_rows)
         return list(islice(self._iter, max_rows))
 
     def _close(self) -> None:
@@ -199,6 +215,8 @@ class SampleScan(Operator):
         self._set_phase("sample")
 
     def _next(self) -> tuple | None:
+        if self.faults is not None:
+            self.faults.fire(SITE_SCAN_READ, detail=self.table.name)
         if self.in_sample_portion:
             assert self._sample_iter is not None
             row = next(self._sample_iter, None)
@@ -212,6 +230,10 @@ class SampleScan(Operator):
         return next(self._remainder_iter, None)
 
     def _next_batch(self, max_rows: int) -> list[tuple]:
+        if self.faults is not None:
+            spec = self.faults.fire(SITE_SCAN_READ, detail=self.table.name)
+            if spec is not None and spec.kind == SHORT_READ:
+                max_rows = self.faults.short_read(max_rows)
         if self.in_sample_portion:
             assert self._sample_iter is not None
             batch = list(islice(self._sample_iter, max_rows))

@@ -13,6 +13,9 @@ Requests::
     {"op": "list"}                           -> {"ok": true, "sessions": [...],
                                                  "workload": {...}}
     {"op": "watch", "session_id": "s0001"}   -> stream (see below)
+    {"op": "watch", "session_id": "s0001",
+     "since": 17}                            -> stream, resumed: snapshots
+                                                with seq <= 17 suppressed
     {"op": "watch", "until_idle": true}      -> aggregate stream
     {"op": "cancel", "session_id": "s0001"}  -> {"ok": true, "session": {...}}
     {"op": "fetch", "session_id": "s0001"}   -> {"ok": true, "columns": [...],
@@ -26,6 +29,11 @@ Stream lines are ``{"event": "snapshot", "session": {...}}``,
 ``{"ok": false, "error": {"code": "...", "message": "..."}}``; unknown
 ops, oversized lines and malformed JSON all produce an error response
 rather than a dropped connection.
+
+``since`` is the watch resume cursor: a reconnecting client sends the
+last snapshot ``seq`` it saw (per-session sequences are strictly
+increasing), and the server suppresses anything at or below it — so a
+stream re-attached after a network fault neither replays nor regresses.
 """
 
 from __future__ import annotations

@@ -24,6 +24,14 @@ from __future__ import annotations
 import socketserver
 import threading
 
+from repro.faults.plan import (
+    SHORT_READ,
+    SITE_SERVER_READ,
+    SITE_SERVER_WRITE,
+    FaultPlan,
+    InjectedFault,
+    plan_from_env,
+)
 from repro.server.events import EventBus, Subscription
 from repro.server.protocol import (
     OPS,
@@ -62,6 +70,8 @@ class ProgressService:
         default_mode: str = "once",
         sample_fraction: float = 0.0,
         default_timeout_s: float | None = None,
+        faults: FaultPlan | None = None,
+        retry_budget: int = 3,
     ):
         self.catalog = catalog
         self.host = host
@@ -72,6 +82,12 @@ class ProgressService:
         self.default_mode = default_mode
         self.sample_fraction = sample_fraction
         self.default_timeout_s = default_timeout_s
+        # Deterministic fault injection: explicit plan, else the
+        # REPRO_FAULTS env spec (so a deployed server can be chaos-tested
+        # from outside), else None — in which case every injection site in
+        # the stack stays a zero-cost no-op.
+        self.faults = faults if faults is not None else plan_from_env()
+        self.retry_budget = retry_budget
         self.registry = SessionRegistry()
         self.events = EventBus()
         self.scheduler = Scheduler(
@@ -107,6 +123,8 @@ class ProgressService:
             quantum_rows=quantum_rows or self.quantum_rows,
             row_cap=self.row_cap,
             timeout_s=timeout_s if timeout_s is not None else self.default_timeout_s,
+            faults=self.faults,
+            retry_budget=self.retry_budget,
         )
         session.add_listener(self._on_session_event)
         self.registry.add(session)
@@ -275,6 +293,24 @@ class ProgressService:
     def _op_watch(self, request: dict, wfile) -> bool:
         session_id = request.get("session_id")
         until_idle = bool(request.get("until_idle"))
+        since = request.get("since")
+        if since is not None:
+            try:
+                since = int(since)
+            except (TypeError, ValueError):
+                write_message(
+                    wfile,
+                    error_response("bad_request", f"since must be an int, got {since!r}"),
+                )
+                return True
+            if session_id is None:
+                write_message(
+                    wfile,
+                    error_response(
+                        "bad_request", "since requires a session_id (per-session seq)"
+                    ),
+                )
+                return True
         if session_id is not None and self.registry.get(session_id) is None:
             write_message(
                 wfile,
@@ -283,7 +319,7 @@ class ProgressService:
             return True
         subscription = self.events.subscribe()
         try:
-            self._stream_watch(subscription, session_id, until_idle, wfile)
+            self._stream_watch(subscription, session_id, until_idle, wfile, since)
         finally:
             # Detach whether the stream ended or the client dropped —
             # otherwise every dead watcher would keep receiving forever.
@@ -296,11 +332,17 @@ class ProgressService:
         session_id: str | None,
         until_idle: bool,
         wfile,
+        since: int | None = None,
     ) -> None:
         # Per-session high-water snapshot sequence: events queued before the
         # priming snapshot was taken are stale and must not be re-emitted
-        # after it (they would make the stream regress).
+        # after it (they would make the stream regress). ``since`` seeds the
+        # mark from a reconnecting client's last seen seq, so a resumed
+        # watch never replays or regresses past what the client already has
+        # (the priming snapshot below always carries a fresh, higher seq).
         last_seq: dict[str, int] = {}
+        if since is not None and session_id is not None:
+            last_seq[session_id] = since
 
         def emit_session(wire: dict) -> bool:
             sid = wire.get("session_id", "")
@@ -362,21 +404,69 @@ class ProgressService:
                         return
 
 
+class _FaultyStream:
+    """Socket-file wrapper arming the ``server.read``/``server.write`` sites.
+
+    Injected faults surface as the failure modes a real network produces:
+    ``error`` becomes a dropped connection (:class:`ConnectionResetError`,
+    which the handler's normal disconnect path absorbs), ``stall`` a
+    latency spike, and ``short_read`` a truncated frame — half the line on
+    reads, half the bytes then a broken pipe on writes, which is exactly
+    the malformed/truncated-reply case clients must survive.
+    """
+
+    def __init__(self, raw, faults: FaultPlan, site: str):
+        self._raw = raw
+        self._faults = faults
+        self._site = site
+
+    def _probe(self):
+        try:
+            return self._faults.fire(self._site)
+        except InjectedFault as exc:
+            raise ConnectionResetError(str(exc)) from None
+
+    def readline(self, limit: int = -1) -> bytes:
+        spec = self._probe()
+        line = self._raw.readline(limit)
+        if spec is not None and spec.kind == SHORT_READ and len(line) > 1:
+            return line[: len(line) // 2]
+        return line
+
+    def write(self, data: bytes) -> int:
+        spec = self._probe()
+        if spec is not None and spec.kind == SHORT_READ and len(data) > 1:
+            self._raw.write(data[: len(data) // 2])
+            self._raw.flush()
+            raise BrokenPipeError(f"injected short write at {self._site}")
+        return self._raw.write(data)
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+
 class _ProtocolHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: ProgressService = self.server.service  # type: ignore[attr-defined]
+        rfile, wfile = self.rfile, self.wfile
+        faults = service.faults
+        if faults is not None:
+            if faults.has_site(SITE_SERVER_READ):
+                rfile = _FaultyStream(rfile, faults, SITE_SERVER_READ)
+            if faults.has_site(SITE_SERVER_WRITE):
+                wfile = _FaultyStream(wfile, faults, SITE_SERVER_WRITE)
         try:
             while True:
                 try:
-                    request = read_message(self.rfile)
+                    request = read_message(rfile)
                 except ProtocolError as exc:
                     write_message(
-                        self.wfile, error_response("protocol", str(exc))
+                        wfile, error_response("protocol", str(exc))
                     )
                     return
                 if request is None:
                     return
-                if not service.handle_request(request, self.wfile):
+                if not service.handle_request(request, wfile):
                     return
         except (BrokenPipeError, ConnectionResetError, OSError):
             return  # client went away; watch subscriptions were detached

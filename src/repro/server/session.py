@@ -43,6 +43,7 @@ from repro.common.locks import acquires, assert_owned, guarded_by, holds_lock
 from repro.core.progress import ProgressMonitor, ProgressSnapshot
 from repro.executor.engine import PlanCursor, TickBus
 from repro.executor.operators.base import Operator
+from repro.faults.plan import FaultPlan, TransientFault
 from repro.storage.catalog import Catalog
 
 __all__ = ["QuerySession", "SessionSnapshot", "SessionState", "TERMINAL_STATES"]
@@ -65,7 +66,13 @@ TERMINAL_STATES = frozenset(
 
 @dataclass(frozen=True)
 class SessionSnapshot:
-    """An immutable, wire-ready view of one session's progress."""
+    """An immutable, wire-ready view of one session's progress.
+
+    ``degraded`` marks progress running on the dne fallback after a
+    runtime estimator demotion (the query itself is fine — only estimate
+    quality degraded); ``retries`` counts transient storage faults
+    absorbed by the session's retry budget.
+    """
 
     session_id: str
     name: str
@@ -77,6 +84,9 @@ class SessionSnapshot:
     row_count: int
     elapsed_s: float
     error: str | None = None
+    degraded: bool = False
+    degraded_reason: str | None = None
+    retries: int = 0
 
     def to_wire(self) -> dict:
         return {
@@ -90,6 +100,9 @@ class SessionSnapshot:
             "row_count": self.row_count,
             "elapsed_s": round(self.elapsed_s, 6),
             "error": self.error,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "retries": self.retries,
         }
 
 
@@ -113,6 +126,18 @@ class QuerySession:
     timeout_s:
         Cooperative deadline measured from the first step; exceeding it
         cancels the session with a timeout error.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` installed on the plan,
+        cursor and estimator hooks (see docs/FAULTS.md).
+    resilient:
+        Harden estimator hooks so a raising hook demotes its estimator
+        (snapshots turn ``degraded``) instead of failing the query. On by
+        default for sessions — a served query should never die for the
+        sake of its own progress bar.
+    retry_budget:
+        Transient storage faults (:class:`TransientFault`, fired at the
+        resumable cursor boundary) absorbed per session before the next
+        one is treated as fatal.
     """
 
     # Lock discipline (machine-checked by repro.analysis.concurrency).
@@ -142,6 +167,8 @@ class QuerySession:
         "_deadline": "_step_lock",
         "_ticked_this_quantum": "_step_lock",
         "_last_progress": "_step_lock",
+        "_retries_left": "_step_lock",
+        "retry_count": "_step_lock",
         "listeners": "_snap_lock",
     }
 
@@ -158,6 +185,9 @@ class QuerySession:
         quantum_rows: int = 256,
         row_cap: int = 10_000,
         timeout_s: float | None = None,
+        faults: FaultPlan | None = None,
+        resilient: bool = True,
+        retry_budget: int = 3,
     ):
         if quantum_rows < 1:
             raise ValueError(f"quantum_rows must be >= 1, got {quantum_rows}")
@@ -165,6 +195,8 @@ class QuerySession:
             raise ValueError(f"row_cap must be >= 0, got {row_cap}")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if retry_budget < 0:
+            raise ValueError(f"retry_budget must be >= 0, got {retry_budget}")
         self.session_id = session_id or f"s{next(_session_ids):04d}"
         self.name = name or self.session_id
         self.plan = plan
@@ -172,12 +204,21 @@ class QuerySession:
         self.row_cap = row_cap
         self.timeout_s = timeout_s
         self.bus = bus if bus is not None else TickBus(interval=tick_interval)
+        self.faults = faults
+        self.retry_budget = retry_budget
         self.monitor = (
             monitor
             if monitor is not None
-            else ProgressMonitor(plan, mode=mode, catalog=catalog, bus=self.bus)
+            else ProgressMonitor(
+                plan,
+                mode=mode,
+                catalog=catalog,
+                bus=self.bus,
+                resilient=resilient,
+                faults=faults,
+            )
         )
-        self.cursor = PlanCursor(plan, bus=self.bus)
+        self.cursor = PlanCursor(plan, bus=self.bus, faults=faults)
         self.state = SessionState.PENDING
         self.row_count = 0
         self.rows: list[tuple] = []
@@ -195,6 +236,8 @@ class QuerySession:
         self._last_progress: ProgressSnapshot | None = None
         self._high_water = 0.0
         self._ticked_this_quantum = False
+        self._retries_left = retry_budget
+        self.retry_count = 0
         self.bus.subscribe(self._on_bus_tick)
 
     # -- observation -------------------------------------------------------------
@@ -232,8 +275,19 @@ class QuerySession:
     @acquires("_snap_lock")
     def _publish(self) -> None:
         snap = self.snapshot()
+        dead: list[Callable] = []
         for listener in self.listeners:
-            listener(self, snap)
+            try:
+                listener(self, snap)
+            except Exception:  # noqa: BLE001 - a broken watcher must not kill the query
+                dead.append(listener)
+        if dead:
+            # Detach, don't die: the erroring subscriber stops receiving
+            # snapshots, every other watcher and the query itself carry on.
+            with self._snap_lock:
+                self.listeners = tuple(
+                    fn for fn in self.listeners if not any(fn is d for d in dead)
+                )
 
     @property
     def finished(self) -> bool:
@@ -278,6 +332,7 @@ class QuerySession:
         """
         state = self.state
         progress = self._last_progress
+        degraded = progress is not None and progress.degraded
         if state is SessionState.FINISHED:
             # C(Q) is now the exact T(Q): pin to 1.0 with matching totals
             # so aggregates over finished sessions cannot drift or regress.
@@ -306,6 +361,9 @@ class QuerySession:
             row_count=self.row_count,
             elapsed_s=self.elapsed_s(),
             error=self.error,
+            degraded=degraded,
+            degraded_reason=progress.degraded_reason if degraded else None,
+            retries=self.retry_count,
         )
 
     def results(self) -> tuple[list[str], list[tuple], bool]:
@@ -353,7 +411,7 @@ class QuerySession:
                 )
                 return False
             try:
-                batch = self.cursor.fetch(quantum_rows or self.quantum_rows)
+                batch = self._fetch_with_retry(quantum_rows or self.quantum_rows)
             except Exception as exc:  # noqa: BLE001 - reported as FAILED
                 self._finalize(SessionState.FAILED, _describe_error(exc))
                 return False
@@ -373,6 +431,29 @@ class QuerySession:
                 self._publish()
             self._ticked_this_quantum = False
             return True
+
+    @guarded_by("_step_lock")
+    def _fetch_with_retry(self, max_rows: int) -> list[tuple]:
+        """Pull one quantum, absorbing retryable storage faults.
+
+        :class:`TransientFault` fires at the cursor boundary *before* the
+        pull enters the plan, so no operator or estimator state is
+        mid-flight when it unwinds — reissuing the fetch is sound. Each
+        retry consumes the bounded per-session budget; once exhausted, the
+        next transient fault propagates and fails the session. Anything
+        raised from inside the plan (including non-retryable injected
+        faults) propagates immediately: a generator-driven operator cannot
+        resume across an unwound exception, so "retrying" would silently
+        lose rows.
+        """
+        while True:
+            try:
+                return self.cursor.fetch(max_rows)
+            except TransientFault:
+                if self._retries_left <= 0:
+                    raise
+                self._retries_left -= 1
+                self.retry_count += 1
 
     @guarded_by("_step_lock")
     def _finalize(self, state: SessionState, error: str | None) -> None:

@@ -1,0 +1,9 @@
+"""Chaos/invariant harness: randomized fault schedules vs. hard invariants.
+
+Every test in this tree follows the same shape: build a deterministic
+fault schedule from a fixed seed (CI runs a small seed matrix), run real
+queries through the engine or the TCP service with the schedule installed,
+and assert the invariants that must survive *any* fault sequence — see
+:mod:`tests.chaos.invariants`. On failure, the full fault schedule plus
+its firing log is dumped as JSON so the run can be replayed exactly.
+"""

@@ -1,0 +1,128 @@
+"""The invariant set that must survive any fault schedule.
+
+1. **Terminal, never wedged** — every session ends FINISHED / CANCELLED /
+   FAILED within a bounded number of steps.
+2. **Strictly increasing seq** — published snapshot sequence numbers for
+   one session never repeat or regress.
+3. **Monotone progress** — reported per-session progress never decreases,
+   and a FINISHED session reports exactly 1.0.
+4. **FINISHED ⇒ exact rows** — if a session claims success, its result
+   rows equal the fault-free baseline bit for bit (a fault may kill a
+   query, it may never silently drop rows).
+5. **FAILED ⇒ diagnosed** — a failed session carries a non-empty error.
+6. **No leaked locks** — after the terminal transition every session lock
+   is immediately acquirable (runs with ``REPRO_LOCK_ASSERTS=1`` so the
+   in-tree ownership asserts are live too).
+7. **Estimator faults are survivable** — a schedule whose only faults hit
+   ``estimator.hook`` must FINISH (degraded, not dead): the estimators
+   exist for the progress bar, and the paper's framework deliberately
+   degrades to dne rather than perturbing the query.
+"""
+
+from __future__ import annotations
+
+from repro.faults import SITE_ESTIMATOR_HOOK, FaultSpec
+from repro.server.session import QuerySession, SessionSnapshot, SessionState
+
+TERMINAL_WIRE = ("finished", "cancelled", "failed")
+
+
+def check_snapshot_stream(snaps: list[SessionSnapshot]) -> None:
+    """Invariants 2 and 3 over one session's published snapshot stream."""
+    prev_seq: int | None = None
+    prev_progress = 0.0
+    for snap in snaps:
+        if prev_seq is not None:
+            assert snap.seq > prev_seq, (
+                f"seq regressed: {prev_seq} -> {snap.seq} ({snap.session_id})"
+            )
+        prev_seq = snap.seq
+        assert snap.progress >= prev_progress - 1e-12, (
+            f"progress regressed: {prev_progress} -> {snap.progress} "
+            f"({snap.session_id} seq={snap.seq})"
+        )
+        prev_progress = max(prev_progress, snap.progress)
+
+
+def check_wire_stream(events: list[dict], session_id: str) -> None:
+    """The wire-level twin of :func:`check_snapshot_stream`, over decoded
+    ``watch`` events (possibly merged across reconnects)."""
+    prev_seq: int | None = None
+    prev_progress = 0.0
+    for event in events:
+        if event.get("event") != "snapshot":
+            continue
+        wire = event.get("session", {})
+        if wire.get("session_id") != session_id:
+            continue
+        seq = int(wire["seq"])
+        if prev_seq is not None:
+            assert seq > prev_seq, f"wire seq regressed: {prev_seq} -> {seq}"
+        prev_seq = seq
+        progress = float(wire["progress"])
+        assert progress >= prev_progress - 1e-12, (
+            f"wire progress regressed: {prev_progress} -> {progress} (seq={seq})"
+        )
+        prev_progress = max(prev_progress, progress)
+        if wire.get("state") == "finished":
+            assert progress == 1.0, f"finished snapshot at {progress}, not 1.0"
+
+
+def check_locks_released(session: QuerySession) -> None:
+    """Invariant 6: no terminal session holds (or leaked) a lock."""
+    for name, lock in (
+        ("bus.lock", session.bus.lock),
+        ("_step_lock", session._step_lock),
+        ("_snap_lock", session._snap_lock),
+    ):
+        acquired = lock.acquire(blocking=False)
+        assert acquired, f"leaked lock after terminal state: {name}"
+        lock.release()
+
+
+def check_session_invariants(
+    session: QuerySession,
+    events: list[SessionSnapshot],
+    baseline_rows: list[tuple] | None,
+) -> None:
+    """The full in-process invariant set for one completed session.
+
+    ``baseline_rows`` is the fault-free reference result; pass None when
+    the baseline is unknown (invariant 4 is then skipped).
+    """
+    assert session.finished, f"session not terminal: {session.state}"
+    assert session.state.value in TERMINAL_WIRE
+    final = session.snapshot()
+    if session.state is SessionState.FINISHED:
+        assert final.progress == 1.0, f"finished at progress {final.progress}"
+        if baseline_rows is not None:
+            assert session.row_count == len(baseline_rows), (
+                f"FINISHED with {session.row_count} rows, "
+                f"baseline has {len(baseline_rows)}"
+            )
+            assert session.rows == baseline_rows, "FINISHED but rows differ from baseline"
+    elif session.state is SessionState.FAILED:
+        assert session.error, "FAILED without a diagnosis"
+    check_snapshot_stream(events)
+    check_locks_released(session)
+
+
+def check_estimator_faults_survivable(
+    session: QuerySession,
+    specs: list[FaultSpec] | tuple[FaultSpec, ...],
+    baseline_rows: list[tuple] | None,
+) -> None:
+    """Invariant 7: a schedule that only ever faults the estimator hooks
+    must leave the query FINISHED with exact rows (degraded, not dead)."""
+    assert specs and all(spec.site == SITE_ESTIMATOR_HOOK for spec in specs), (
+        "invariant 7 only applies to estimator-hook-only schedules"
+    )
+    assert session.state is SessionState.FINISHED, (
+        "an estimator fault must degrade the progress estimate, not kill "
+        f"the query — session ended {session.state.value} "
+        f"(error: {session.error})"
+    )
+    if baseline_rows is not None:
+        assert session.rows == baseline_rows, (
+            "estimator degradation changed the query result"
+        )

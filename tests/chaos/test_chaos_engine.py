@@ -1,0 +1,203 @@
+"""In-process chaos: randomized fault schedules against QuerySession.
+
+Each trial reuses the differential harness's seeded plan generator
+(:func:`tests.test_differential_batch.build_plan` — fresh operators per
+call, identical shape per trial), computes the fault-free baseline rows
+with a bare engine, then replays the same plan under a seeded fault
+schedule through a :class:`QuerySession` stepper and asserts the full
+invariant set from :mod:`tests.chaos.invariants`. Runs with the in-tree
+lock-ownership asserts live (``REPRO_LOCK_ASSERTS=1``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.server.session import QuerySession, SessionState
+
+from tests.chaos.invariants import (
+    check_estimator_faults_survivable,
+    check_session_invariants,
+)
+from tests.chaos.schedules import (
+    chaos_seeds,
+    dump_failure,
+    engine_schedule,
+    estimator_only_schedule,
+)
+from tests.test_differential_batch import build_plan
+
+TRIALS_PER_SEED = 6
+MAX_STEPS = 10_000  # wedge bound: far beyond any plan the generator emits
+QUANTUM = 64
+
+
+@pytest.fixture(autouse=True)
+def _lock_asserts(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_ASSERTS", "1")
+
+
+def _baseline_rows(trial: int) -> list[tuple]:
+    result = ExecutionEngine(build_plan(trial), collect_rows=True).run()
+    assert result.rows is not None
+    return result.rows
+
+
+def _run_session(session: QuerySession) -> list:
+    """Step to a terminal state, collecting every published snapshot.
+
+    Fails the test (wedge) if the session is still live after MAX_STEPS.
+    """
+    events = []
+    session.add_listener(lambda _s, snap: events.append(snap))
+    for _ in range(MAX_STEPS):
+        if not session.step():
+            break
+    else:
+        pytest.fail(f"session wedged: still {session.state} after {MAX_STEPS} steps")
+    return events
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_engine_chaos_invariants(seed):
+    for trial in range(TRIALS_PER_SEED):
+        plan = engine_schedule(seed, trial)
+        baseline = _baseline_rows(trial)
+        session = QuerySession(
+            build_plan(trial),
+            name=f"chaos-{seed}-{trial}",
+            quantum_rows=QUANTUM,
+            row_cap=1_000_000,
+            faults=plan,
+        )
+        events = _run_session(session)
+        try:
+            check_session_invariants(session, events, baseline)
+        except AssertionError:
+            path = dump_failure(
+                f"engine-seed{seed}-trial{trial}",
+                plan,
+                events,
+                extra={"state": session.state.value, "error": session.error},
+            )
+            print(f"fault schedule dumped to {path}")
+            raise
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_engine_chaos_outcome_mix(seed):
+    """The schedule generator must exercise both outcomes across a seed's
+    trials — all-FAILED (or all-FINISHED) chaos proves much less."""
+    outcomes = set()
+    for trial in range(TRIALS_PER_SEED):
+        session = QuerySession(
+            build_plan(trial),
+            quantum_rows=QUANTUM,
+            row_cap=0,
+            faults=engine_schedule(seed, trial),
+        )
+        _run_session(session)
+        outcomes.add(session.state)
+    assert SessionState.FINISHED in outcomes, (
+        f"no trial survived its schedule (seed {seed}): {outcomes}"
+    )
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_engine_chaos_is_deterministic(seed):
+    """Same seed + trial ⇒ identical outcome, firing log and row count."""
+    trial = 0
+
+    def run():
+        plan = engine_schedule(seed, trial)
+        session = QuerySession(
+            build_plan(trial),
+            quantum_rows=QUANTUM,
+            row_cap=1_000_000,
+            faults=plan,
+        )
+        _run_session(session)
+        fired = [
+            (r["site"], r["kind"], r["opportunity"]) for r in plan.records()
+        ]
+        return session.state, session.error, session.row_count, fired
+
+    assert run() == run()
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_estimator_faults_degrade_not_die(seed):
+    """Invariant 7: estimator-hook-only schedules always FINISH, flagged
+    degraded, with exactly the baseline rows."""
+    trial = 1
+    plan = estimator_only_schedule(seed)
+    baseline = _baseline_rows(trial)
+    session = QuerySession(
+        build_plan(trial),
+        quantum_rows=QUANTUM,
+        row_cap=1_000_000,
+        faults=plan,
+    )
+    events = _run_session(session)
+    try:
+        check_estimator_faults_survivable(session, plan.specs, baseline)
+        check_session_invariants(session, events, baseline)
+    except AssertionError:
+        dump_failure(f"estimator-seed{seed}", plan, events)
+        raise
+    if plan.records():
+        # The hooks actually fired, so the demotion must be visible.
+        final = session.snapshot()
+        assert final.degraded, "estimator fault fired but snapshot not degraded"
+        assert final.degraded_reason
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_transient_faults_within_budget_finish(seed):
+    """Cursor-boundary faults inside the retry budget are absorbed: the
+    session FINISHES with exact rows and reports the retries it spent."""
+    from repro.faults import ERROR, SITE_CURSOR_FETCH, FaultPlan, FaultSpec
+
+    trial = 2
+    baseline = _baseline_rows(trial)
+    plan = FaultPlan(
+        seed=seed,
+        specs=[FaultSpec(SITE_CURSOR_FETCH, kind=ERROR, every=2, count=3)],
+    )
+    session = QuerySession(
+        build_plan(trial),
+        quantum_rows=QUANTUM,
+        row_cap=1_000_000,
+        faults=plan,
+        retry_budget=3,
+    )
+    events = _run_session(session)
+    check_session_invariants(session, events, baseline)
+    assert session.state is SessionState.FINISHED
+    assert session.retry_count == len(plan.records()) > 0
+    assert events[-1].retries == session.retry_count
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_transient_faults_past_budget_fail_cleanly(seed):
+    """One fault past the budget: FAILED with a diagnosis, locks released,
+    stream invariants intact — never a wedge, never silent rows."""
+    from repro.faults import ERROR, SITE_CURSOR_FETCH, FaultPlan, FaultSpec
+
+    trial = 3
+    plan = FaultPlan(
+        seed=seed,
+        specs=[FaultSpec(SITE_CURSOR_FETCH, kind=ERROR, every=1, count=None)],
+    )
+    session = QuerySession(
+        build_plan(trial),
+        quantum_rows=QUANTUM,
+        faults=plan,
+        retry_budget=2,
+    )
+    events = _run_session(session)
+    check_session_invariants(session, events, None)
+    assert session.state is SessionState.FAILED
+    assert "cursor.fetch" in (session.error or "")
+    assert session.retry_count == 2

@@ -1,0 +1,89 @@
+"""Meta-test: the harness must *catch* broken degradation, not just pass.
+
+A chaos harness that never fails is indistinguishable from one that checks
+nothing. Here we deliberately break the graceful-degradation contract —
+estimator-hook faults armed with the dne fallback disabled
+(``resilient=False``) — and assert that invariant 7
+(:func:`check_estimator_faults_survivable`) flags the run. The same
+schedule with the fallback enabled must sail through, pinning down that
+the invariant discriminates on exactly the degradation behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.session import QuerySession, SessionState
+
+from tests.chaos.invariants import check_estimator_faults_survivable
+from tests.chaos.schedules import chaos_seeds, estimator_only_schedule
+from tests.test_differential_batch import build_plan
+
+TRIAL = 4  # any differential-harness plan with estimators attached
+MAX_STEPS = 10_000
+
+
+@pytest.fixture(autouse=True)
+def _lock_asserts(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_ASSERTS", "1")
+
+
+def _run(session: QuerySession) -> None:
+    for _ in range(MAX_STEPS):
+        if not session.step():
+            return
+    pytest.fail(f"session wedged after {MAX_STEPS} steps")
+
+
+def _find_firing_trial(plan_builder, resilient: bool, seed: int):
+    """Not every generated plan attaches hookable estimators; scan a few
+    trials for one where the schedule actually fires."""
+    for trial in range(TRIAL, TRIAL + 10):
+        plan = plan_builder(seed)
+        session = QuerySession(
+            build_plan(trial),
+            quantum_rows=32,
+            row_cap=0,
+            faults=plan,
+            resilient=resilient,
+        )
+        _run(session)
+        if plan.records():
+            return session, plan
+    pytest.skip("no trial in range attached estimator hooks")
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_harness_catches_disabled_fallback(seed):
+    """resilient=False + estimator faults ⇒ the query dies — and the
+    invariant must catch that, loudly."""
+    session, plan = _find_firing_trial(estimator_only_schedule, False, seed)
+    assert session.state is SessionState.FAILED, (
+        "with the fallback disabled, an estimator fault should kill the "
+        f"query, got {session.state}"
+    )
+    with pytest.raises(AssertionError, match="degrade the progress estimate"):
+        check_estimator_faults_survivable(session, plan.specs, None)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_same_schedule_passes_with_fallback(seed):
+    """The control arm: identical schedule, fallback enabled ⇒ invariant 7
+    holds and the session reports itself degraded."""
+    session, plan = _find_firing_trial(estimator_only_schedule, True, seed)
+    check_estimator_faults_survivable(session, plan.specs, None)
+    final = session.snapshot()
+    assert final.degraded
+    assert final.degraded_reason
+
+
+def test_invariant_rejects_mixed_schedules():
+    """Invariant 7 only speaks about estimator-only schedules; feeding it
+    anything else is a harness bug and must be rejected."""
+    from repro.faults import ERROR, SITE_SCAN_READ, FaultSpec
+
+    session = QuerySession(build_plan(TRIAL), row_cap=0)
+    _run(session)
+    mixed = (FaultSpec(SITE_SCAN_READ, kind=ERROR, every=1),)
+    with pytest.raises(AssertionError, match="only applies"):
+        check_estimator_faults_survivable(session, mixed, None)

@@ -1,0 +1,42 @@
+"""X003 positive: a retry loop that acquires per attempt but releases only
+on success — modeled on the session stepper's transient-fault retry loop,
+where the guarded-by-construction version uses ``with``/try-finally."""
+
+import threading
+
+
+class FlakySource:
+    def read(self) -> int:
+        raise TimeoutError("transient")
+
+
+class RetryingReader:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.source = FlakySource()
+        self.attempts = 0
+
+    def read_safe(self, budget: int) -> int:
+        # The disciplined shape: the lock spans the whole retry loop and
+        # releases on every exit path.
+        self.lock.acquire()
+        try:
+            for _ in range(budget):
+                try:
+                    return self.source.read()
+                except TimeoutError:
+                    self.attempts += 1
+            raise TimeoutError("budget exhausted")
+        finally:
+            self.lock.release()
+
+    def read_leaky(self, budget: int) -> int:
+        # X003: acquire() per attempt, release() only after a successful
+        # read — the TimeoutError unwinds with the lock still held.
+        for _ in range(budget):
+            self.lock.acquire()
+            value = self.source.read()
+            self.attempts += 1
+            self.lock.release()
+            return value
+        raise TimeoutError("budget exhausted")

@@ -87,6 +87,22 @@ class TestX003AcquireLeak:
         assert "X003" not in codes_of(findings)
 
 
+class TestX003RetryLoopLeak:
+    """The session stepper's retry-loop shape: acquire per attempt with the
+    release only on the success path leaks on every raising attempt; the
+    lock-spans-the-loop twin with try/finally is clean."""
+
+    def test_flags_per_attempt_acquire_released_on_success_only(self) -> None:
+        findings = analyze_paths([fixture("bad_retry_leak.py")])
+        assert codes_of(findings) == {"X003"}
+        (finding,) = findings
+        assert finding.symbol == "RetryingReader.read_leaky"
+
+    def test_lock_spanning_retry_loop_is_clean(self) -> None:
+        findings = analyze_paths([fixture("bad_retry_leak.py")])
+        assert all(f.symbol != "RetryingReader.read_safe" for f in findings)
+
+
 class TestX004LockOrder:
     def test_flags_inverted_acquisition_order(self) -> None:
         findings = analyze_paths([fixture("bad_lock_order.py")])

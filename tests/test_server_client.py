@@ -1,0 +1,237 @@
+"""Unit tests for ProgressClient's transport-failure handling.
+
+These run against tiny hand-scripted TCP servers (not ProgressService), so
+each failure mode — truncated reply, slammed connection, refused port,
+server verdicts — is produced exactly, and the client's typed
+:class:`ServiceError` contract plus the watch/wait retry machinery can be
+asserted in isolation.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.server.client import TRANSIENT_CODES, ProgressClient, ServiceError
+from repro.server.protocol import decode, encode
+
+
+class ScriptedServer:
+    """Accept connections; for each, read one line and run the next script
+    step. Steps are callables ``(conn, request_line) -> None``; the server
+    replays the last step for any extra connections."""
+
+    def __init__(self, *steps):
+        self.steps = list(steps)
+        self.requests: list[dict | None] = []
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        index = 0
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    line = conn.makefile("rb").readline()
+                    try:
+                        self.requests.append(decode(line) if line else None)
+                    except Exception:  # noqa: BLE001 - scripted peer, keep going
+                        self.requests.append(None)
+                    step = self.steps[min(index, len(self.steps) - 1)]
+                    index += 1
+                    step(conn, line)
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop.set()
+        self.sock.close()
+        self._thread.join(timeout=5.0)
+
+
+def reply(*messages):
+    def step(conn, _line):
+        for message in messages:
+            conn.sendall(encode(message))
+
+    return step
+
+
+def reply_raw(data: bytes):
+    def step(conn, _line):
+        conn.sendall(data)
+
+    return step
+
+
+def slam(conn, _line):
+    conn.close()
+
+
+@pytest.fixture
+def scripted(request):
+    servers = []
+
+    def make(*steps):
+        server = ScriptedServer(*steps)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestRoundtripErrors:
+    def test_truncated_reply_is_protocol_error(self, scripted):
+        server = scripted(reply_raw(b'{"ok": true, "po'))
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == "protocol"
+        assert "malformed" in str(excinfo.value)
+
+    def test_immediate_close_is_closed_error(self, scripted):
+        server = scripted(slam)
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.code in ("closed", "connection")
+
+    def test_refused_port_is_connection_error(self):
+        # Bind-then-close guarantees nothing is listening on the port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ProgressClient("127.0.0.1", port, timeout=2.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.ping()
+        assert excinfo.value.code == "connection"
+
+    def test_server_verdict_code_preserved(self, scripted):
+        server = scripted(
+            reply({"ok": False, "error": {"code": "unknown_session", "message": "s9"}})
+        )
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("s9")
+        assert excinfo.value.code == "unknown_session"
+        assert excinfo.value.message == "s9"
+        assert excinfo.value.code not in TRANSIENT_CODES
+
+    def test_ok_response_passes_through(self, scripted):
+        server = scripted(reply({"ok": True, "pong": True}))
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        assert client.ping() is True
+        assert server.requests == [{"op": "ping"}]
+
+
+def _snapshot(sid, seq, progress, state="running"):
+    return {
+        "event": "snapshot",
+        "session": {"session_id": sid, "seq": seq, "progress": progress, "state": state},
+    }
+
+
+class TestWatchReconnect:
+    def test_resume_sends_since_cursor(self, scripted):
+        # First stream dies after seq 3 without an "end"; the reconnect
+        # must carry since=3 and the merged stream must not duplicate.
+        server = scripted(
+            reply(_snapshot("s1", 1, 0.1), _snapshot("s1", 3, 0.3)),
+            reply(
+                _snapshot("s1", 4, 0.6),
+                _snapshot("s1", 5, 1.0, state="finished"),
+                {"event": "end", "reason": "finished"},
+            ),
+        )
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        events = list(client.watch("s1", backoff_s=0.01))
+        seqs = [e["session"]["seq"] for e in events if e["event"] == "snapshot"]
+        assert seqs == [1, 3, 4, 5]
+        assert events[-1]["event"] == "end"
+        first, second = server.requests
+        assert "since" not in first
+        assert second["since"] == 3
+
+    def test_duplicate_snapshots_across_seam_suppressed(self, scripted):
+        # A server that ignores `since` and replays seq 1-2 anyway: the
+        # client must still deliver each seq exactly once.
+        server = scripted(
+            reply(_snapshot("s1", 1, 0.1), _snapshot("s1", 2, 0.2)),
+            reply(
+                _snapshot("s1", 1, 0.1),
+                _snapshot("s1", 2, 0.2),
+                _snapshot("s1", 3, 1.0, state="finished"),
+                {"event": "end", "reason": "finished"},
+            ),
+        )
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        seqs = [
+            e["session"]["seq"]
+            for e in client.watch("s1", backoff_s=0.01)
+            if e["event"] == "snapshot"
+        ]
+        assert seqs == [1, 2, 3]
+
+    def test_gives_up_after_max_reconnects(self, scripted):
+        server = scripted(slam)
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.watch("s1", max_reconnects=2, backoff_s=0.01))
+        assert excinfo.value.code == "connection"
+        assert len(server.requests) == 3  # initial + 2 reconnects
+
+    def test_server_verdict_ends_watch_without_retry(self, scripted):
+        server = scripted(
+            reply({"ok": False, "error": {"code": "unknown_session", "message": "s9"}})
+        )
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.watch("s9", backoff_s=0.01))
+        assert excinfo.value.code == "unknown_session"
+        assert len(server.requests) == 1
+
+
+class TestWaitRetry:
+    def test_wait_retries_transient_then_succeeds(self, scripted):
+        final = {"session_id": "s1", "seq": 9, "progress": 1.0, "state": "finished"}
+        server = scripted(
+            slam,
+            reply_raw(b"garbage that is not json\n"),
+            reply({"ok": True, "session": final}),
+        )
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        snap = client.wait("s1", timeout=10.0, backoff_s=0.01)
+        assert snap == final
+        assert len(server.requests) == 3
+
+    def test_wait_does_not_retry_verdicts(self, scripted):
+        server = scripted(
+            reply({"ok": False, "error": {"code": "unknown_session", "message": "s9"}})
+        )
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.wait("s9", timeout=5.0, backoff_s=0.01)
+        assert excinfo.value.code == "unknown_session"
+        assert len(server.requests) == 1
+
+    def test_wait_gives_up_after_consecutive_failures(self, scripted):
+        server = scripted(slam)
+        client = ProgressClient("127.0.0.1", server.port, timeout=5.0)
+        with pytest.raises(ServiceError):
+            client.wait("s1", timeout=10.0, max_retries=2, backoff_s=0.01)
+        assert len(server.requests) == 3

@@ -1,0 +1,147 @@
+"""Fault-path behaviour of sessions, the registry and the scheduler.
+
+An operator that raises mid-quantum must surface as a clean FAILED
+session: diagnosis set, locks released, progress stream intact, the
+failed session pinned at (work_done, work_done) in the workload
+aggregate, and — critically — the scheduler slot freed so queued
+queries behind the corpse still run.
+"""
+
+from __future__ import annotations
+
+from repro.executor.engine import ExecutionEngine
+from repro.faults import ERROR, SITE_OPERATOR_PULL, FaultPlan, FaultSpec
+from repro.server.registry import SessionRegistry
+from repro.server.scheduler import Scheduler
+from repro.server.session import QuerySession, SessionState
+from repro.sql import compile_select
+
+SQL = "SELECT c.custkey, c.name FROM customer c WHERE c.custkey > 0"
+
+
+def _failing_session(catalog, after: int = 5, **kwargs) -> QuerySession:
+    """A session whose plan raises from inside an operator pull after
+    ``after`` pull opportunities — i.e. mid-run, rows already out.
+
+    One opportunity is one ``next_batch`` call on one operator, so a small
+    quantum guarantees several healthy quanta before the fault arms.
+    """
+    faults = FaultPlan(
+        seed=7,
+        specs=[FaultSpec(SITE_OPERATOR_PULL, kind=ERROR, every=1, after=after)],
+    )
+    plan = compile_select(catalog, SQL).plan
+    kwargs.setdefault("quantum_rows", 16)
+    return QuerySession(plan, name="doomed", faults=faults, **kwargs)
+
+
+def _drain(session: QuerySession) -> list:
+    events = []
+    session.add_listener(lambda _s, snap: events.append(snap))
+    while session.step():
+        pass
+    return events
+
+
+class TestOperatorFaultMidBatch:
+    def test_failed_with_error_set(self, small_catalog):
+        session = _failing_session(small_catalog)
+        events = _drain(session)
+        assert session.state is SessionState.FAILED
+        assert session.error and "operator.pull" in session.error
+        final = session.snapshot()
+        assert final.state == "failed"
+        assert final.error == session.error
+        # The stream stayed well-formed through the crash.
+        seqs = [snap.seq for snap in events]
+        assert seqs == sorted(set(seqs))
+        assert events[-1].state == "failed"
+
+    def test_not_retried_rows_not_lost_silently(self, small_catalog):
+        # An in-plan fault is fatal by design: the generator stack cannot
+        # resume, so a "retry" would deliver a truncated result as
+        # FINISHED. FAILED must therefore happen with zero retries spent.
+        session = _failing_session(small_catalog, retry_budget=5)
+        _drain(session)
+        assert session.state is SessionState.FAILED
+        assert session.retry_count == 0
+
+    def test_locks_released_after_failure(self, small_catalog):
+        session = _failing_session(small_catalog)
+        _drain(session)
+        for lock in (session.bus.lock, session._step_lock, session._snap_lock):
+            assert lock.acquire(blocking=False)
+            lock.release()
+
+    def test_step_after_failure_is_inert(self, small_catalog):
+        session = _failing_session(small_catalog)
+        _drain(session)
+        assert session.step() is False
+        assert session.state is SessionState.FAILED
+
+
+class TestWorkloadViewPinsFailedSessions:
+    def test_failed_session_pinned_at_done_done(self, small_catalog):
+        registry = SessionRegistry()
+        session = registry.add(_failing_session(small_catalog))
+        _drain(session)
+        view = registry.workload()
+        assert view.states == {"failed": 1}
+        # Terminal rule: contribution is (work_done, work_done) — a dead
+        # query can never drag the aggregate denominator around.
+        snap = session.snapshot()
+        assert view.work_done == snap.work_done
+        assert view.work_total_estimate == snap.work_done
+        assert view.idle
+
+    def test_aggregate_does_not_regress_when_sibling_fails(self, small_catalog):
+        registry = SessionRegistry()
+        doomed = registry.add(_failing_session(small_catalog))
+        healthy = registry.add(
+            QuerySession(compile_select(small_catalog, SQL).plan, name="healthy")
+        )
+        while healthy.step():
+            pass
+        before = registry.workload().progress
+        _drain(doomed)
+        after = registry.workload().progress
+        assert after >= before - 1e-12
+
+
+class TestSchedulerSlotReleased:
+    def test_queued_query_runs_after_failure(self, small_catalog):
+        scheduler = Scheduler(workers=1, max_pending=4)
+        scheduler.start()
+        try:
+            expected = ExecutionEngine(compile_select(small_catalog, SQL).plan).run()
+            doomed = _failing_session(small_catalog, quantum_rows=16)
+            healthy = QuerySession(
+                compile_select(small_catalog, SQL).plan,
+                name="behind-the-corpse",
+                quantum_rows=16,
+                row_cap=100_000,
+            )
+            scheduler.submit(doomed)
+            scheduler.submit(healthy)
+            assert scheduler.run_until_complete(timeout=60.0), "scheduler wedged"
+            assert doomed.state is SessionState.FAILED
+            assert healthy.state is SessionState.FINISHED
+            assert healthy.rows == expected.rows
+            assert scheduler.pending == 0, "slot leaked after failure"
+        finally:
+            scheduler.shutdown(wait=True)
+
+    def test_slots_reusable_after_repeated_failures(self, small_catalog):
+        # max_pending=1: each new submit only admits if the previous dead
+        # session actually released its slot.
+        scheduler = Scheduler(workers=1, max_pending=1)
+        scheduler.start()
+        try:
+            for _ in range(3):
+                doomed = _failing_session(small_catalog, quantum_rows=16)
+                scheduler.submit(doomed)
+                assert scheduler.run_until_complete(timeout=60.0)
+                assert doomed.state is SessionState.FAILED
+                assert scheduler.pending == 0
+        finally:
+            scheduler.shutdown(wait=True)
