@@ -627,6 +627,17 @@ class _MethodChecker:
         path = self._expr_path(node)
         if path is not None and path.startswith("self."):
             return self.a.registry.canonical(self.cls.name, path[len("self."):])
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+        ):
+            # `with bus.lock:` where `bus` is a typed local (`bus =
+            # TickBus(...)`) — resolve through the local's class, which is
+            # how module-level functions (e.g. the parallel worker loop)
+            # honour class lock protocols without a `self` to root at.
+            cls = self.local_types.get(node.value.id)
+            if cls is not None:
+                return self.a.registry.canonical(cls, node.attr)
         if isinstance(node, ast.Name):
             cls = self.local_types.get(node.id)
             if cls is not None:

@@ -10,11 +10,13 @@ someone writes new code:
   the ``K_i`` of the paper's model; an operator that bumps or resets it
   corrupts ``C(Q)`` silently. Batch writes (``+= len(batch)``) belong to
   ``next_batch`` alone — never to a subclass's ``_next_batch`` drain.
-  The server package (``repro/server/``) is held to a stricter form:
-  server threads observe, they never drive — so calls to ``tick()`` /
-  ``tick_n()`` and writes to the bus ``count`` are also illegal there.
-  The only mutation path for estimator/counter state is
-  ``Operator.next``/``next_batch`` under the engine's pull loop.
+  Coordinator packages (``repro/server/`` and ``repro/parallel/``) are
+  held to a stricter form: coordinator threads observe, they never drive —
+  so calls to ``tick()`` / ``tick_n()`` and writes to the bus ``count``
+  are also illegal there (worker fragments advance counters only through
+  the sanctioned ``PlanCursor.fetch`` pull loop). The only mutation path
+  for estimator/counter state is ``Operator.next``/``next_batch`` under
+  the engine's pull loop.
 * **R002** — no ``random`` / ``numpy.random`` use outside
   ``repro/common/rng.py``. All randomness flows through the seeded factory
   so runs are reproducible.
@@ -32,6 +34,9 @@ someone writes new code:
   reinstates the per-tuple overhead the batch path exists to amortise.
   ``operators/base.py`` is exempt: the generic ``Operator`` fallback is the
   one sanctioned place where batch execution degrades to per-row hooks.
+  In coordinator packages the rule additionally scans the delta-merge
+  (``fold``) and merge-step (``apply``) loops: the coordinator combines
+  workers' sufficient statistics, it never replays per-row hooks.
 * **R006** — no bare ``threading.Lock()`` / ``threading.RLock()``
   construction inside ``executor/`` or ``core/``. Those layers synchronize
   through the TickBus-carried sampling lock; a private lock there either
@@ -73,12 +78,14 @@ def _noqa_codes(line: str) -> set[str]:
 #: Rule id -> one-line description (kept in sync with docs/ANALYSIS.md).
 RULES: dict[str, str] = {
     "R001": "tuples_emitted may only be written by Operator.next()/next_batch(); "
-    "server modules may not drive tick()/tick_n() or write bus counters",
+    "coordinator modules (server, parallel) may not drive tick()/tick_n() or "
+    "write bus counters",
     "R002": "random/numpy.random are forbidden outside repro.common.rng",
     "R003": "bare `except:` clauses are forbidden",
     "R004": "Operator subclasses must declare op_name, children and output_schema",
     "R005": "per-row estimator hooks (on_build/on_probe/observe) are forbidden "
-    "inside _next_batch loops; use the batch-hook twins",
+    "inside _next_batch loops (and coordinator merge loops); use the "
+    "batch-hook twins / fold sufficient statistics",
     "R006": "bare threading.Lock()/RLock() construction is forbidden in executor/ "
     "and core/; use the TickBus-carried sampling lock",
 }
@@ -192,28 +199,33 @@ class _Registry:
 # -- rules ---------------------------------------------------------------------
 
 
-#: Dotted path segment marking the server package (stricter R001 rules).
-_SERVER_PKG = ("repro", "server")
+#: Packages whose threads observe execution rather than drive it (stricter
+#: R001 rules): the server, and the parallel coordinator stack — where even
+#: the worker loop only advances counters through the sanctioned
+#: ``PlanCursor.fetch`` API, never by ticking the bus directly.
+_COORDINATOR_PKGS = (("repro", "server"), ("repro", "parallel"))
 
-#: Methods server code may never call: they advance the work counters.
+#: Methods coordinator code may never call: they advance the work counters.
 _COUNTER_DRIVERS = ("tick", "tick_n")
 
 
-def _in_server_package(path: str) -> bool:
+def _in_coordinator_package(path: str) -> bool:
     parts = Path(path).parts
     return any(
-        parts[i : i + len(_SERVER_PKG)] == _SERVER_PKG
-        for i in range(len(parts) - len(_SERVER_PKG) + 1)
+        parts[i : i + len(pkg)] == pkg
+        for pkg in _COORDINATOR_PKGS
+        for i in range(len(parts) - len(pkg) + 1)
     )
 
 
 def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
     """Writes to ``tuples_emitted`` outside
-    ``Operator.next``/``Operator.next_batch``/``__init__``; in the server
-    package additionally any ``tick()``/``tick_n()`` call or write to a
-    ``count`` attribute (the TickBus counter)."""
+    ``Operator.next``/``Operator.next_batch``/``__init__``; in coordinator
+    packages (``repro.server``, ``repro.parallel``) additionally any
+    ``tick()``/``tick_n()`` call or write to a ``count`` attribute (the
+    TickBus counter)."""
     violations: list[Violation] = []
-    in_server = _in_server_package(path)
+    in_coordinator = _in_coordinator_package(path)
 
     def is_counter_write(stmt: ast.stmt) -> int | None:
         targets: list[ast.expr] = []
@@ -255,13 +267,13 @@ def _rule_r001(tree: ast.Module, path: str) -> list[Violation]:
                 visit(child, class_name, func_name)
 
     visit(tree, None, None)
-    if in_server:
-        violations.extend(_r001_server_checks(tree, path))
+    if in_coordinator:
+        violations.extend(_r001_coordinator_checks(tree, path))
     return violations
 
 
-def _r001_server_checks(tree: ast.Module, path: str) -> list[Violation]:
-    """Server threads observe execution, they never drive it: no
+def _r001_coordinator_checks(tree: ast.Module, path: str) -> list[Violation]:
+    """Coordinator threads observe execution, they never drive it: no
     ``tick``/``tick_n`` calls, no writes to a ``count`` attribute."""
     violations: list[Violation] = []
     for node in ast.walk(tree):
@@ -275,7 +287,7 @@ def _r001_server_checks(tree: ast.Module, path: str) -> list[Violation]:
                     "R001",
                     path,
                     node.lineno,
-                    f"call to {node.func.attr}() in server code; only "
+                    f"call to {node.func.attr}() in coordinator code; only "
                     "Operator.next()/next_batch() under the engine's pull "
                     "loop may advance the work counters",
                 )
@@ -292,8 +304,8 @@ def _r001_server_checks(tree: ast.Module, path: str) -> list[Violation]:
                         "R001",
                         path,
                         node.lineno,
-                        "write to a .count attribute in server code; the "
-                        "TickBus counter belongs to the execution side",
+                        "write to a .count attribute in coordinator code; "
+                        "the TickBus counter belongs to the execution side",
                     )
                 )
     return violations
@@ -356,15 +368,27 @@ _PER_ROW_HOOKS = ("observe", "on_build", "on_probe")
 _R005_EXEMPT_SUFFIX = ("executor", "operators", "base.py")
 
 
+#: Methods scanned in coordinator packages on top of ``_next_batch``: the
+#: delta-merge path (``fold``) and coordinator merge steps (``apply``) must
+#: combine sufficient statistics, never replay per-row estimator hooks.
+_R005_COORDINATOR_METHODS = ("_next_batch", "apply", "fold")
+
+
 def _rule_r005(tree: ast.Module, path: str) -> list[Violation]:
-    """Per-row estimator hook calls inside ``_next_batch`` drain loops."""
+    """Per-row estimator hook calls inside ``_next_batch`` drain loops —
+    and, in coordinator packages, inside delta-merge/merge-step loops."""
     if Path(path).parts[-3:] == _R005_EXEMPT_SUFFIX:
         return []
+    scanned = (
+        _R005_COORDINATOR_METHODS
+        if _in_coordinator_package(path)
+        else ("_next_batch",)
+    )
     flagged: set[tuple[int, str]] = set()
     for node in ast.walk(tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
-        if node.name != "_next_batch":
+        if node.name not in scanned:
             continue
         for loop in ast.walk(node):
             if not isinstance(loop, (ast.For, ast.While)):
@@ -381,9 +405,10 @@ def _rule_r005(tree: ast.Module, path: str) -> list[Violation]:
             "R005",
             path,
             line,
-            f"per-row {attr}() call in a _next_batch loop; batch drains must "
-            "aggregate estimator updates via the batch-hook twins "
-            "(operators.base.make_batch_dispatch)",
+            f"per-row {attr}() call in a batch drain or coordinator merge "
+            "loop; batch drains must aggregate estimator updates via the "
+            "batch-hook twins (operators.base.make_batch_dispatch), and "
+            "coordinator merges must fold sufficient statistics",
         )
         for line, attr in sorted(flagged)
     ]

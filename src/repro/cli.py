@@ -73,6 +73,42 @@ def cmd_query(args: argparse.Namespace) -> int:
     compiled = compile_select(
         catalog, args.sql, sample_fraction=args.sample
     )
+    label = f"{args.mode} progress estimation"
+    if args.parallel and args.parallel > 1:
+        from repro.parallel import Coordinator, try_compile
+
+        fragments = try_compile(compiled.plan, args.parallel)
+        if fragments is None:
+            print(
+                f"-- plan not fragmentable at P={args.parallel}; running serially",
+                file=sys.stderr,
+            )
+        else:
+            coordinator = Coordinator(
+                fragments,
+                mode=args.mode,
+                tick_interval=args.tick,
+                on_progress=lambda snap: draw([snap]),
+            )
+            parallel_result = coordinator.run()
+            monitor = coordinator.monitor
+            sys.stderr.write(
+                "\r" + _progress_bar(1.0, monitor.snapshot().work_total_estimate)
+            )
+            sys.stderr.write("\n")
+            label = (
+                f"{args.mode} progress estimation, P={fragments.num_partitions}"
+                + (" DEGRADED" if parallel_result.degraded else "")
+            )
+            _print_rows(
+                compiled.plan, parallel_result.rows, args.max_rows
+            )
+            print(
+                f"-- {parallel_result.row_count:,} rows in "
+                f"{parallel_result.wall_time_s:.2f}s ({label})",
+                file=sys.stderr,
+            )
+            return 0
     bus = TickBus(interval=args.tick)
     monitor = ProgressMonitor(compiled.plan, mode=args.mode, bus=bus)
     bus.subscribe(lambda _c: draw(monitor.snapshots))
@@ -82,19 +118,21 @@ def cmd_query(args: argparse.Namespace) -> int:
     sys.stderr.write("\r" + _progress_bar(1.0, monitor.snapshot().work_total_estimate))
     sys.stderr.write("\n")
 
-    columns = compiled.plan.output_schema.names()
-    print("\t".join(columns))
-    rows = result.rows or []
-    for row in rows[: args.max_rows]:
-        print("\t".join(str(v) for v in row))
-    if len(rows) > args.max_rows:
-        print(f"... ({len(rows) - args.max_rows} more rows)")
+    _print_rows(compiled.plan, result.rows or [], args.max_rows)
     print(
-        f"-- {result.row_count:,} rows in {result.wall_time_s:.2f}s "
-        f"({args.mode} progress estimation)",
+        f"-- {result.row_count:,} rows in {result.wall_time_s:.2f}s ({label})",
         file=sys.stderr,
     )
     return 0
+
+
+def _print_rows(plan, rows: list, max_rows: int) -> None:
+    columns = plan.output_schema.names()
+    print("\t".join(columns))
+    for row in rows[:max_rows]:
+        print("\t".join(str(v) for v in row))
+    if len(rows) > max_rows:
+        print(f"... ({len(rows) - max_rows} more rows)")
 
 
 def _workload_setups(args: argparse.Namespace):
@@ -260,6 +298,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sample_fraction=args.sample,
         default_timeout_s=args.timeout,
         faults=faults,
+        max_parallel=args.max_parallel,
     )
     host, port = service.start()
     print(
@@ -295,7 +334,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
     client = _client(args)
     try:
         session = client.submit(
-            args.sql, mode=args.mode, name=args.name, timeout_s=args.timeout_s
+            args.sql,
+            mode=args.mode,
+            name=args.name,
+            timeout_s=args.timeout_s,
+            parallel=args.parallel,
         )
         sid = session["session_id"]
         print(sid)
@@ -424,6 +467,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="vectorized execution: pull N rows per next_batch() call "
         "(default: row-at-a-time)",
     )
+    q.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="P",
+        help="partitioned multi-process execution across P workers with a "
+        "merged progress bar (unfragmentable plans run serially)",
+    )
     q.set_defaults(func=cmd_query)
 
     a = sub.add_parser(
@@ -481,6 +532,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None, help="default per-session timeout (s)"
     )
     s.add_argument(
+        "--max-parallel",
+        type=int,
+        default=0,
+        metavar="P",
+        help="per-query parallelism ceiling for submit ... parallel=P "
+        "(0 disables parallel execution)",
+    )
+    s.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -499,6 +558,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     sm.add_argument("--name", default=None, help="session display name")
     sm.add_argument(
         "--timeout-s", type=float, default=None, help="per-session timeout (s)"
+    )
+    sm.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="P",
+        help="request P-way parallel execution (clamped to the server's "
+        "--max-parallel ceiling)",
     )
     sm.add_argument("--wait", action="store_true", help="block until the query ends")
     sm.add_argument(

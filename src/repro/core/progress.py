@@ -209,6 +209,31 @@ class ProgressMonitor:
         maxmult = self.manager.max_multiplicities() if self.manager else None
         self.bounds.refine(maxmult)
 
+    @acquires("_lock")
+    def operator_totals(self) -> dict[int, tuple[float, float]]:
+        """Per-operator ``(K_i, N̂_i)`` keyed by plan node id.
+
+        This is the per-operator decomposition of one snapshot — the same
+        ``_total_for`` dispatch, itemised instead of summed. The worker half
+        of ``repro.parallel`` ships these over the delta pipe; node ids come
+        from ``validate_plan`` (the plan must have been validated, as every
+        ``PlanCursor`` run guarantees) so the coordinator can re-key them
+        onto the serial plan.
+        """
+        with self._lock:
+            self.refresh_bounds()
+            out: dict[int, tuple[float, float]] = {}
+            for pipeline in self.pipelines:
+                status = self._status(pipeline)
+                for op in pipeline.operators:
+                    if op.node_id is None:  # pragma: no cover - defensive
+                        continue
+                    out[op.node_id] = (
+                        float(op.tuples_emitted),
+                        self._total_for(op, pipeline, status),
+                    )
+            return out
+
     # -- estimation dispatch ----------------------------------------------------------
 
     @staticmethod

@@ -269,6 +269,7 @@ class ExecutionEngine:
         self,
         row_callback: Callable[[tuple], None] | None = None,
         batch_size: int | None = None,
+        parallel: int | None = None,
     ) -> ExecutionResult:
         """Open, drain, and close the plan.
 
@@ -277,9 +278,20 @@ class ExecutionEngine:
         (``Operator.next_batch``), which produces the same rows, the same
         per-operator counts and the same bus totals with the per-row
         bookkeeping amortized over each batch.
+
+        ``parallel=P`` (P > 1) hands the plan to :mod:`repro.parallel`:
+        the plan is fragmented across P partitions and run on worker
+        processes, with per-operator counts merged from the workers'
+        progress deltas. Plans the fragmenter cannot split (see
+        docs/PARALLEL.md) fall back to this engine's serial loop.
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if parallel is not None and parallel > 1:
+            result = self._run_parallel(parallel, row_callback)
+            if result is not None:
+                return result
+            # Unfragmentable plan: fall through to the serial loop.
         rows: list[tuple] | None = [] if self.collect_rows else None
         bus = self.bus
         cursor = PlanCursor(self.root, bus=bus, faults=self.faults)
@@ -341,4 +353,31 @@ class ExecutionEngine:
             wall_time_s=elapsed,
             rows=rows,
             operator_counts=counts,
+        )
+
+    def _run_parallel(
+        self,
+        num_partitions: int,
+        row_callback: Callable[[tuple], None] | None,
+    ) -> ExecutionResult | None:
+        """Fragment + coordinate; None when the plan is unfragmentable."""
+        # Imported here: repro.parallel builds on this module, so the
+        # dependency must stay one-way at import time.
+        from repro.parallel.coordinator import Coordinator
+        from repro.parallel.fragments import try_compile
+
+        fragments = try_compile(self.root, num_partitions)
+        if fragments is None:
+            return None
+        coordinator = Coordinator(fragments, faults=self.faults)
+        result = coordinator.run()
+        if row_callback is not None:
+            for row in result.rows:
+                row_callback(row)
+        return ExecutionResult(
+            root=self.root,
+            row_count=result.row_count,
+            wall_time_s=result.wall_time_s,
+            rows=result.rows if self.collect_rows else None,
+            operator_counts=result.operator_counts,
         )

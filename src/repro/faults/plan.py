@@ -27,6 +27,15 @@ Sites
                           estimator to dne instead of killing the query.
 ``server.read``           fired per request line read from a client socket.
 ``server.write``          fired per reply/stream line written to a client.
+``worker.spawn``          fired by the parallel coordinator before starting
+                          each worker process; an error here degrades the
+                          fragment to inline execution (or fails the query
+                          when degradation is off).
+``worker.exec``           fired inside parallel workers between fetches. An
+                          ``error`` kind is a *hard kill* — the worker exits
+                          without a word, exactly like a crashed or OOM-killed
+                          process — so the coordinator's death handling (EOF
+                          on the delta pipe) is what gets exercised.
 ========================  =====================================================
 
 Fault kinds
@@ -99,6 +108,8 @@ SITE_SCAN_READ = "scan.read"
 SITE_ESTIMATOR_HOOK = "estimator.hook"
 SITE_SERVER_READ = "server.read"
 SITE_SERVER_WRITE = "server.write"
+SITE_WORKER_SPAWN = "worker.spawn"
+SITE_WORKER_EXEC = "worker.exec"
 
 ALL_SITES = frozenset(
     {
@@ -108,6 +119,8 @@ ALL_SITES = frozenset(
         SITE_ESTIMATOR_HOOK,
         SITE_SERVER_READ,
         SITE_SERVER_WRITE,
+        SITE_WORKER_SPAWN,
+        SITE_WORKER_EXEC,
     }
 )
 

@@ -1,0 +1,58 @@
+"""``repro.parallel`` — partitioned multi-process execution with
+distributed progress aggregation.
+
+The subsystem splits a serial physical plan into per-partition fragments
+(:mod:`~repro.parallel.fragments`), runs each on its own worker process
+with the unchanged serial executor + progress stack
+(:mod:`~repro.parallel.worker`), streams mergeable progress deltas back
+(:mod:`~repro.parallel.delta`), folds them into one monotone global
+progress view (:mod:`~repro.parallel.monitor`) under a coordinator that
+treats worker death as a first-class fault
+(:mod:`~repro.parallel.coordinator`), and exposes the whole run behind
+the serial session interface (:mod:`~repro.parallel.session`). See
+docs/PARALLEL.md.
+"""
+
+from repro.parallel.coordinator import (
+    Coordinator,
+    ParallelExecutionError,
+    ParallelResult,
+)
+from repro.parallel.delta import (
+    EstimatorDelta,
+    MergedChain,
+    MergedGroup,
+    MergedOnce,
+    ProgressDelta,
+    merge_estimator_deltas,
+)
+from repro.parallel.fragments import (
+    FragmentationError,
+    FragmentPlan,
+    compile_fragments,
+    try_compile,
+)
+from repro.parallel.monitor import PartitionedProgressMonitor
+from repro.parallel.session import ParallelQuerySession
+from repro.parallel.worker import WorkerKilled, WorkerTask, run_fragment
+
+__all__ = [
+    "Coordinator",
+    "EstimatorDelta",
+    "FragmentPlan",
+    "FragmentationError",
+    "MergedChain",
+    "MergedGroup",
+    "MergedOnce",
+    "ParallelExecutionError",
+    "ParallelQuerySession",
+    "ParallelResult",
+    "PartitionedProgressMonitor",
+    "ProgressDelta",
+    "WorkerKilled",
+    "WorkerTask",
+    "compile_fragments",
+    "merge_estimator_deltas",
+    "run_fragment",
+    "try_compile",
+]

@@ -1,0 +1,296 @@
+"""A scheduler-steppable session over a parallel (fragmented) run.
+
+:class:`ParallelQuerySession` presents the exact control surface of
+:class:`repro.server.session.QuerySession` — ``step`` / ``snapshot`` /
+``remaining_work`` / ``results`` / ``cancel`` / ``add_listener`` plus the
+same attribute set — so the :class:`~repro.server.scheduler.Scheduler`,
+the workload view and the wire protocol drive serial and parallel queries
+interchangeably. The difference is what a quantum means: a serial step
+pulls ``quantum_rows`` from the plan cursor; a parallel step *pumps the
+worker pipes once* (bounded by ``pump_timeout_s``), folds whatever
+arrived into the :class:`~repro.parallel.monitor.
+PartitionedProgressMonitor`, and publishes the merged snapshot. Workers
+make progress between steps on their own — the quantum is how often the
+coordinator *observes* them, which keeps one pool thread able to
+time-slice many parallel queries exactly as it time-slices serial ones.
+
+Result rows materialize only at the end: worker output is buffered
+per-partition and the fragmentation plan's merge recipe (final aggregate,
+global sort, distinct) runs when the last worker reports done. Until
+then ``row_count`` reports raw fragment rows when the merge is a pure
+concatenation, 0 otherwise (partial-aggregate rows are not result rows).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Callable
+
+from repro.common.locks import acquires, guarded_by
+from repro.executor.operators.base import Operator
+from repro.faults.plan import FaultPlan
+from repro.parallel.coordinator import Coordinator
+from repro.parallel.fragments import FragmentPlan
+from repro.server.session import (
+    TERMINAL_STATES,
+    SessionSnapshot,
+    SessionState,
+)
+
+__all__ = ["ParallelQuerySession"]
+
+_session_ids = itertools.count(1)
+
+
+class ParallelQuerySession:
+    """A resumable, cancellable parallel execution of one fragmented plan.
+
+    Parameters mirror :class:`~repro.server.session.QuerySession` where
+    they mean the same thing (``name``/``session_id``/``row_cap``/
+    ``timeout_s``/``faults``); parallel-specific knobs (``backend``,
+    ``degrade``, worker batch/delta cadence) forward to the
+    :class:`~repro.parallel.coordinator.Coordinator`.
+    """
+
+    # Lock discipline (machine-checked by repro.analysis.concurrency):
+    # same split as the serial session — ``_step_lock`` serializes pump
+    # and state transitions, ``_snap_lock`` covers observation state
+    # touched by arbitrary reader threads.
+    _guarded_by_ = {
+        "_high_water": "_snap_lock",
+        "_snap_seq": "_snap_lock",
+    }
+    _write_guarded_by_ = {
+        "state": "_step_lock",
+        "row_count": "_step_lock",
+        "rows": "_step_lock",
+        "error": "_step_lock",
+        "started_at": "_step_lock",
+        "finished_at": "_step_lock",
+        "_deadline": "_step_lock",
+        "_truncated": "_step_lock",
+        "listeners": "_snap_lock",
+    }
+
+    def __init__(
+        self,
+        plan: Operator,
+        fragments: FragmentPlan,
+        name: str | None = None,
+        session_id: str | None = None,
+        mode: str = "once",
+        backend: str = "process",
+        row_cap: int = 10_000,
+        timeout_s: float | None = None,
+        faults: FaultPlan | None = None,
+        degrade: bool = True,
+        tick_interval: int = 1000,
+        batch_size: int = 1024,
+        delta_every: int = 4096,
+        pump_timeout_s: float = 0.02,
+    ):
+        if row_cap < 0:
+            raise ValueError(f"row_cap must be >= 0, got {row_cap}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.session_id = session_id or f"p{next(_session_ids):04d}"
+        self.name = name or self.session_id
+        self.plan = plan
+        self.fragments = fragments
+        self.row_cap = row_cap
+        self.timeout_s = timeout_s
+        self.pump_timeout_s = pump_timeout_s
+        self.coordinator = Coordinator(
+            fragments,
+            backend=backend,
+            mode=mode,
+            tick_interval=tick_interval,
+            batch_size=batch_size,
+            delta_every=delta_every,
+            faults=faults,
+            degrade=degrade,
+        )
+        self.monitor = self.coordinator.monitor
+        self.parallelism = fragments.num_partitions
+        self.state = SessionState.PENDING
+        self.row_count = 0
+        self.rows: list[tuple] = []
+        self.error: str | None = None
+        self.created_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.retry_count = 0  # wire-format parity; worker retries stay worker-local
+        self.listeners: tuple[
+            Callable[["ParallelQuerySession", SessionSnapshot], None], ...
+        ] = ()
+        self._step_lock = threading.RLock()
+        self._snap_lock = threading.Lock()
+        self._cancel = threading.Event()
+        self._cancel_reason: str | None = None
+        self._deadline: float | None = None
+        self._snap_seq = 0
+        self._high_water = 0.0
+        self._truncated = False
+
+    # -- observation -------------------------------------------------------------
+
+    @acquires("_snap_lock")
+    def add_listener(
+        self, listener: Callable[["ParallelQuerySession", SessionSnapshot], None]
+    ) -> None:
+        """Register a callback invoked with every published snapshot."""
+        with self._snap_lock:
+            self.listeners = (*self.listeners, listener)
+
+    @guarded_by("_step_lock")
+    def _publish(self) -> None:
+        snap = self.snapshot()
+        dead: list[Callable] = []
+        for listener in self.listeners:
+            try:
+                listener(self, snap)
+            except Exception:  # noqa: BLE001 - a broken watcher must not kill the query
+                dead.append(listener)
+        if dead:
+            with self._snap_lock:
+                self.listeners = tuple(
+                    fn for fn in self.listeners if not any(fn is d for d in dead)
+                )
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def elapsed_s(self) -> float:
+        start = self.started_at if self.started_at is not None else self.created_at
+        end = self.finished_at if self.finished_at is not None else time.monotonic()
+        return max(end - start, 0.0)
+
+    def remaining_work(self) -> float:
+        """Live merged ``T̂(Q) − C(Q)`` for scheduler ranking."""
+        if self.state in TERMINAL_STATES:
+            return 0.0
+        snap = self.monitor.snapshot()
+        return max(snap.work_total_estimate - snap.work_done, 0.0)
+
+    @acquires("_snap_lock")
+    def snapshot(self) -> SessionSnapshot:
+        """Current merged progress view, safe from any thread.
+
+        Unlike the serial session there is no live plan to protect — the
+        partitioned monitor is its own thread-safe fold of worker deltas —
+        so this samples it directly.
+        """
+        state = self.state
+        progress = self.monitor.snapshot()
+        if state is SessionState.FINISHED:
+            done = total = self.monitor.true_total()
+            frac = 1.0
+        else:
+            done = progress.work_done
+            total = progress.work_total_estimate
+            frac = progress.progress
+        with self._snap_lock:
+            self._high_water = max(self._high_water, frac)
+            self._snap_seq += 1
+            seq = self._snap_seq
+            high_water = self._high_water
+        return SessionSnapshot(
+            session_id=self.session_id,
+            name=self.name,
+            state=state.value,
+            seq=seq,
+            progress=high_water if state is not SessionState.FINISHED else 1.0,
+            work_done=done,
+            work_total_estimate=total,
+            row_count=self.row_count,
+            elapsed_s=self.elapsed_s(),
+            error=self.error,
+            degraded=progress.degraded,
+            degraded_reason=progress.degraded_reason,
+            retries=self.retry_count,
+        )
+
+    def results(self) -> tuple[list[str], list[tuple], bool]:
+        """``(columns, spooled rows, truncated?)`` for the fetch op."""
+        columns = self.plan.output_schema.names()
+        return columns, list(self.rows), self._truncated
+
+    # -- control -----------------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Request cooperative cancellation; honoured at the next step."""
+        self._cancel_reason = reason
+        self._cancel.set()
+
+    @acquires("_step_lock")
+    def step(self, quantum_rows: int | None = None) -> bool:
+        """Advance by one pump quantum. Returns True while work remains.
+
+        ``quantum_rows`` is accepted for interface parity and ignored —
+        a parallel quantum is one bounded pipe pump, not a row count.
+        """
+        del quantum_rows
+        with self._step_lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            if self._cancel.is_set():
+                self.coordinator.cancel()
+                self._finalize(SessionState.CANCELLED, self._cancel_reason)
+                return False
+            if self.state is SessionState.PENDING:
+                self.started_at = time.monotonic()
+                if self.timeout_s is not None:
+                    self._deadline = self.started_at + self.timeout_s
+                try:
+                    self.coordinator.start()
+                except Exception as exc:  # noqa: BLE001 - reported as FAILED
+                    self._finalize(
+                        SessionState.FAILED, f"{type(exc).__name__}: {exc}"
+                    )
+                    return False
+                self.state = SessionState.RUNNING
+            if self._deadline is not None and time.monotonic() >= self._deadline:
+                self.coordinator.cancel()
+                self._finalize(
+                    SessionState.CANCELLED,
+                    f"deadline exceeded (timeout_s={self.timeout_s:g})",
+                )
+                return False
+            try:
+                self.coordinator.pump(self.pump_timeout_s)
+            except Exception as exc:  # noqa: BLE001 - reported as FAILED
+                self.coordinator.cancel()
+                self._finalize(SessionState.FAILED, f"{type(exc).__name__}: {exc}")
+                return False
+            if self.coordinator.error is not None:
+                self._finalize(SessionState.FAILED, self.coordinator.error)
+                return False
+            if self.coordinator.finished:
+                try:
+                    result = self.coordinator.result()
+                except Exception as exc:  # noqa: BLE001 - reported as FAILED
+                    self._finalize(
+                        SessionState.FAILED, f"{type(exc).__name__}: {exc}"
+                    )
+                    return False
+                self.row_count = result.row_count
+                spool = result.rows[: self.row_cap] if self.row_cap else []
+                self.rows = spool
+                self._truncated = result.row_count > len(spool)
+                self._finalize(SessionState.FINISHED, None)
+                return False
+            if not self.fragments.steps:
+                # Pure concatenation: raw fragment rows ARE result rows.
+                self.row_count = self.coordinator.raw_row_count
+            self._publish()
+            return True
+
+    @guarded_by("_step_lock")
+    def _finalize(self, state: SessionState, error: str | None) -> None:
+        self.error = error
+        self.state = state
+        self.finished_at = time.monotonic()
+        self._publish()

@@ -1,0 +1,264 @@
+"""The worker half of ``repro.parallel``: run one fragment, stream deltas.
+
+A worker process owns one plan fragment end to end: its own ``TickBus``,
+``ProgressMonitor`` (with the full estimator stack attached to the
+fragment) and ``PlanCursor`` drain loop — the serial execution machinery,
+unchanged, over one shard. What leaves the process is the wire protocol:
+
+``("rows", [tuple, ...])``
+    A fetched batch of result rows (fragment output, pre-merge).
+``("delta", ProgressDelta)``
+    Cumulative progress: per-operator ``K_i``/``N̂_i`` re-keyed to serial
+    node ids, plus every estimator's sufficient statistics.
+``("done", ProgressDelta)``
+    The fragment is exhausted; the payload is the final delta (all
+    estimators exact).
+``("error", str)``
+    The fragment raised; the message is the diagnosis. The worker exits
+    nonzero afterwards.
+
+Fault semantics (probed per fetch iteration at ``worker.exec``):
+``stall`` sleeps ``delay_s``; ``error`` is a **hard kill** — the process
+exits immediately with no farewell message, so the coordinator's
+EOF-on-pipe handling is what gets exercised, exactly like a real worker
+crash or OOM kill.
+
+``FaultPlan`` itself is not picklable (it owns a mutex and live RNG
+streams), so :class:`WorkerTask` carries ``(seed, specs)`` and the worker
+rebuilds its own plan — same seed, same per-site streams, deterministic
+firing per worker loop.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.progress import ProgressMonitor
+from repro.executor.engine import PlanCursor, TickBus
+from repro.executor.operators.base import Operator
+from repro.executor.plan import walk
+from repro.faults.plan import (
+    SITE_WORKER_EXEC,
+    STALL,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+from repro.parallel.delta import EstimatorDelta, ProgressDelta
+
+__all__ = ["WorkerKilled", "WorkerTask", "extract_delta", "worker_main"]
+
+# Mirrors the serial session's bounded transient-retry budget: a
+# TransientFault at the cursor boundary is reissued, not fatal, until the
+# budget runs out.
+MAX_TRANSIENT_RETRIES = 5
+
+
+class WorkerKilled(RuntimeError):
+    """Inline-backend stand-in for a hard worker kill (``os._exit``)."""
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything a worker needs, in picklable form."""
+
+    worker_id: int
+    fragment: Operator
+    node_map: dict[int, int]
+    broadcast_builds: frozenset[int] = frozenset()
+    replicated_nodes: frozenset[int] = frozenset()
+    mode: str = "once"
+    tick_interval: int = 1000
+    batch_size: int = 1024
+    # Minimum gnm ticks between two delta messages (flow control: deltas
+    # carry full histograms, so they are throttled, not per-batch).
+    delta_every: int = 4096
+    fault_seed: int = 0
+    fault_specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+
+def extract_delta(
+    monitor: ProgressMonitor,
+    task: WorkerTask,
+    seq: int,
+    done: bool,
+) -> ProgressDelta:
+    """Snapshot the fragment monitor into a cumulative wire delta.
+
+    Everything is read under the monitor's sampling lock, so counters and
+    estimator statistics form one consistent cut of the fragment's state.
+    Fragment node ids translate to serial ids through ``task.node_map``;
+    histograms get their merge-mode flags from the fragmentation plan
+    (``broadcast_builds`` → replicated build histogram, ``replicated_nodes``
+    → the whole estimator is a per-worker copy).
+    """
+    broadcast = task.broadcast_builds
+    replicated = task.replicated_nodes
+    with monitor._lock:
+        counters: dict[int, float] = {}
+        totals: dict[int, float] = {}
+        for frag_id, (k_i, total) in monitor.operator_totals().items():
+            sid = task.node_map.get(frag_id)
+            if sid is not None:
+                counters[sid] = k_i
+                totals[sid] = total
+        estimators: list[EstimatorDelta] = []
+        manager = monitor.manager
+        if manager is not None:
+            ops = {id(op): op for op in walk(monitor.root)}
+            for op_key, once in manager.join_estimators.items():
+                op = ops.get(op_key)
+                sid = task.node_map.get(op.node_id) if op is not None else None
+                if sid is None:
+                    continue
+                interval = once._interval
+                estimators.append(
+                    EstimatorDelta(
+                        "once",
+                        (sid,),
+                        t=once.t,
+                        sums=(once.sum_counts,),
+                        hists=(dict(once.histogram.counts),),
+                        replicated=(sid in broadcast or sid in replicated,),
+                        interval_sums=(
+                            (interval.count, interval.sum_x, interval.sum_x_sq),
+                        ),
+                        probe_total=float(once.probe_total),
+                        exact=once.exact,
+                        stats_replicated=sid in replicated,
+                    )
+                )
+            for chain in manager.chain_estimators:
+                sids = tuple(
+                    task.node_map.get(join.node_id) for join in chain.chain
+                )
+                if any(sid is None for sid in sids):
+                    continue
+                estimators.append(
+                    EstimatorDelta(
+                        "chain",
+                        sids,
+                        t=chain.t,
+                        sums=tuple(chain.sums),
+                        hists=tuple(dict(h.counts) for h in chain.base_hists),
+                        replicated=tuple(
+                            sid in broadcast or sid in replicated for sid in sids
+                        ),
+                        interval_sums=tuple(
+                            (iv.count, iv.sum_x, iv.sum_x_sq)
+                            for iv in chain._intervals
+                        ),
+                        probe_total=float(chain._probe_total()),
+                        exact=chain.exact,
+                        stats_replicated=sids[0] in replicated,
+                    )
+                )
+            for op_key, group in manager.group_estimators.items():
+                op = ops.get(op_key)
+                sid = task.node_map.get(op.node_id) if op is not None else None
+                if sid is None:
+                    continue
+                hybrid = group.hybrid
+                estimators.append(
+                    EstimatorDelta(
+                        "group",
+                        (sid,),
+                        t=hybrid.state.t,
+                        hists=(dict(hybrid.state.histogram.counts),),
+                        replicated=(False,),
+                        total=float(hybrid.total),
+                        exact=hybrid.exact,
+                    )
+                )
+        degraded = manager is not None and manager.degraded
+        reason = manager.demotions[-1][1] if degraded else None
+    return ProgressDelta(
+        worker_id=task.worker_id,
+        seq=seq,
+        counters=counters,
+        totals=totals,
+        estimators=tuple(estimators),
+        done=done,
+        degraded=degraded,
+        degraded_reason=reason,
+    )
+
+
+def run_fragment(conn, task: WorkerTask, hard_kill: bool = True) -> None:
+    """The worker loop proper (also runnable in-process by the inline
+    backend — ``conn`` only needs ``send``).
+
+    ``hard_kill`` selects how a ``worker.exec`` error fault manifests:
+    ``True`` (process backend) exits the process with no farewell message;
+    ``False`` (inline backend) raises :class:`WorkerKilled`, the
+    in-process stand-in the coordinator maps to the same death handling.
+    """
+    faults = (
+        FaultPlan(task.fault_seed, task.fault_specs) if task.fault_specs else None
+    )
+    bus = TickBus(task.tick_interval)
+    monitor = ProgressMonitor(
+        task.fragment, mode=task.mode, bus=bus, resilient=True, faults=faults
+    )
+    cursor = PlanCursor(task.fragment, bus, faults=faults)
+    seq = 0
+    last_count = 0
+    first_sent = False
+    retries_left = MAX_TRANSIENT_RETRIES
+    cursor.open()
+    while not cursor.exhausted:
+        if faults is not None:
+            spec = faults.check(SITE_WORKER_EXEC)
+            if spec is not None:
+                if spec.kind == STALL:
+                    time.sleep(spec.delay_s)
+                elif hard_kill:
+                    # Hard kill: no message, no cleanup — the coordinator
+                    # must survive a silent EOF on this pipe.
+                    os._exit(3)
+                else:
+                    raise WorkerKilled(
+                        f"worker {task.worker_id} killed at {SITE_WORKER_EXEC}"
+                    )
+        try:
+            rows = cursor.fetch(task.batch_size)
+        except TransientFault:
+            # Same contract as the serial session: the transient boundary
+            # fires before the pull enters the plan, so reissuing is sound.
+            if retries_left <= 0:
+                raise
+            retries_left -= 1
+            continue
+        if rows:
+            conn.send(("rows", rows))
+        with bus.lock:
+            # Uncontended in the single-threaded worker; taken anyway so
+            # the bus counter protocol stays machine-checkable.
+            count = bus.count
+        if not first_sent or count - last_count >= task.delta_every:
+            first_sent = True
+            last_count = count
+            seq += 1
+            conn.send(("delta", extract_delta(monitor, task, seq, done=False)))
+    # Close before the final delta: closing marks every pipeline finished,
+    # so the totals in the "done" payload are the exact K_i values.
+    cursor.close()
+    seq += 1
+    conn.send(("done", extract_delta(monitor, task, seq, done=True)))
+
+
+def worker_main(conn, task: WorkerTask) -> None:
+    """``multiprocessing`` entry point: run the fragment, report, exit."""
+    try:
+        run_fragment(conn, task)
+        conn.close()
+    except BaseException as exc:  # noqa: BLE001 - ship the diagnosis, then die
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+        except Exception:
+            pass
+        os._exit(1)
+    os._exit(0)

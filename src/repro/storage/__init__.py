@@ -9,6 +9,7 @@ physical analogue.
 """
 
 from repro.storage.catalog import Catalog
+from repro.storage.partition import PartitionError, Partitioner, stable_hash
 from repro.storage.sampling import BlockSample, plan_block_sample
 from repro.storage.schema import Column, ColumnType, Schema
 from repro.storage.statistics import ColumnStatistics, TableStatistics, build_statistics
@@ -20,9 +21,12 @@ __all__ = [
     "Column",
     "ColumnStatistics",
     "ColumnType",
+    "PartitionError",
+    "Partitioner",
     "Schema",
     "Table",
     "TableStatistics",
     "build_statistics",
     "plan_block_sample",
+    "stable_hash",
 ]

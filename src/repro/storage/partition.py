@@ -1,0 +1,208 @@
+"""Base-table partitioning for parallel execution.
+
+:class:`Partitioner` splits a :class:`~repro.storage.table.Table` into
+``num_partitions`` disjoint shard tables whose union is exactly the input
+(a *cover*). Three strategies:
+
+* ``"hash"`` — rows are routed by a :func:`stable_hash` of one column.
+  Co-partitioning two tables on their join keys with the same partitioner
+  guarantees that equal keys land in the same partition id, which is what
+  makes partition-wise hash joins exact (``R ⋈ S = ⋃_p R_p ⋈ S_p``).
+* ``"range"`` — rows are routed by cut points over one column (explicit
+  ``bounds``, or equi-depth quantiles sampled from the data). Equal values
+  land in the same partition, so range co-partitioning is join-safe too.
+* ``"rows"`` — contiguous row ranges, no column needed. The cheapest valid
+  cover for partition-local scans feeding a coordinator merge (partial
+  aggregates, filters, projections) where no key alignment is required.
+
+``None`` keys always route to partition 0 (NULL never matches an equijoin,
+so its placement cannot affect join results — it only has to be *some*
+deterministic shard so the cover stays exact).
+
+Shards share the parent's name, schema and block size: a plan fragment
+cloned over a shard resolves every column reference exactly as the serial
+plan does.
+
+:func:`stable_hash` is deliberately *not* Python's builtin ``hash`` — str
+hashing is randomized per process (PYTHONHASHSEED), and partition layouts
+must be reproducible across runs and identical no matter which process
+computes them.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.storage.table import Table
+
+__all__ = ["PartitionError", "Partitioner", "stable_hash"]
+
+STRATEGIES = ("hash", "range", "rows")
+
+
+class PartitionError(ValueError):
+    """Invalid partitioning request (bad strategy, missing column/bounds)."""
+
+
+def stable_hash(value: object) -> int:
+    """A process-independent, run-independent hash for partition routing.
+
+    Integers (and bools) map to themselves — cheap, and integer join keys
+    are the overwhelmingly common case. Everything else goes through CRC32
+    of a canonical text encoding. Floats that carry integral values hash
+    like the matching int, mirroring Python equality (``2 == 2.0`` must
+    land in one partition or co-partitioned joins would miss matches).
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return zlib.crc32(repr(value).encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, tuple):
+        acc = 0x9E3779B9
+        for item in value:
+            acc = zlib.crc32(
+                stable_hash(item).to_bytes(8, "little", signed=True), acc
+            )
+        return acc
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class Partitioner:
+    """Split tables into ``num_partitions`` disjoint covering shards.
+
+    Parameters
+    ----------
+    num_partitions:
+        Shard count P (>= 1).
+    strategy:
+        ``"hash"`` (default), ``"range"`` or ``"rows"`` — see module
+        docstring.
+    bounds:
+        For ``"range"``: ascending cut points ``b_1 < ... < b_{P-1}``;
+        value ``v`` routes to the first partition with ``v <= b_i`` (the
+        last partition takes the rest). When omitted, :meth:`partition`
+        derives equi-depth bounds from the column's sorted values.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        strategy: str = "hash",
+        bounds: list | tuple | None = None,
+    ):
+        if num_partitions < 1:
+            raise PartitionError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        if strategy not in STRATEGIES:
+            raise PartitionError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if bounds is not None:
+            if strategy != "range":
+                raise PartitionError("bounds are only valid with strategy='range'")
+            bounds = tuple(bounds)
+            if len(bounds) != num_partitions - 1:
+                raise PartitionError(
+                    f"range partitioning into {num_partitions} needs "
+                    f"{num_partitions - 1} bounds, got {len(bounds)}"
+                )
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise PartitionError(f"bounds must be strictly ascending: {bounds}")
+        self.num_partitions = num_partitions
+        self.strategy = strategy
+        self.bounds = bounds
+
+    # -- routing -----------------------------------------------------------------
+
+    def partition_id(self, value: object, bounds: tuple | None = None) -> int:
+        """The shard a key value routes to (hash/range strategies)."""
+        if self.strategy == "rows":
+            raise PartitionError("partition_id is undefined for strategy='rows'")
+        if value is None:
+            return 0
+        if self.strategy == "hash":
+            return stable_hash(value) % self.num_partitions
+        cuts = bounds if bounds is not None else self.bounds
+        if cuts is None:
+            raise PartitionError("range partitioning needs bounds")
+        for pid, cut in enumerate(cuts):
+            if value <= cut:
+                return pid
+        return self.num_partitions - 1
+
+    def _derived_bounds(self, values: list) -> tuple:
+        """Equi-depth cut points from the observed (non-None) values."""
+        present = sorted(v for v in values if v is not None)
+        if not present:
+            return tuple(range(1, self.num_partitions))
+        cuts: list = []
+        for i in range(1, self.num_partitions):
+            cut = present[min(len(present) - 1, i * len(present) // self.num_partitions)]
+            # Strictly ascending cuts; duplicates collapse into a shard
+            # that simply receives no rows.
+            if cuts and cut <= cuts[-1]:
+                continue
+            cuts.append(cut)
+        # Pad with sentinels past the max so the arity contract holds.
+        top = present[-1]
+        while len(cuts) < self.num_partitions - 1:
+            top = top + 1 if isinstance(top, (int, float)) else f"{top}￿"
+            cuts.append(top)
+        return tuple(cuts)
+
+    # -- sharding ----------------------------------------------------------------
+
+    def partition(self, table: Table, column: str | None = None) -> list[Table]:
+        """Shard ``table`` into P disjoint covering tables.
+
+        ``column`` (resolved against the table's schema, qualified or bare
+        names both fine) is required for hash/range and ignored for rows.
+        """
+        p = self.num_partitions
+        if p == 1:
+            return [table]
+        rows = table.rows()
+        if self.strategy == "rows":
+            # Contiguous block-aligned slices: cheap, order-preserving
+            # within each shard.
+            per = (len(rows) + p - 1) // p
+            if table.block_size > 1 and per % table.block_size:
+                per += table.block_size - per % table.block_size
+            per = max(per, 1)
+            buckets = [rows[i * per : (i + 1) * per] for i in range(p)]
+        else:
+            if column is None:
+                raise PartitionError(
+                    f"strategy {self.strategy!r} requires a column"
+                )
+            idx = table.schema.index_of(column)
+            buckets = [[] for _ in range(p)]
+            if self.strategy == "hash":
+                mod = p
+                for row in rows:
+                    value = row[idx]
+                    buckets[stable_hash(value) % mod if value is not None else 0].append(row)
+            else:
+                bounds = (
+                    self.bounds
+                    if self.bounds is not None
+                    else self._derived_bounds([r[idx] for r in rows])
+                )
+                route = self.partition_id
+                for row in rows:
+                    buckets[route(row[idx], bounds)].append(row)
+        return [
+            Table(table.name, table.schema, bucket, table.block_size)
+            for bucket in buckets
+        ]

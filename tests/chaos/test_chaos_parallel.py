@@ -1,0 +1,242 @@
+"""Worker-kill chaos for ``repro.parallel``.
+
+The schedule hard-kills workers mid-fragment (``worker.exec``) and aborts
+spawns (``worker.spawn``). The invariants:
+
+1. **Terminal, never hung** — the coordinator reaches a terminal state in
+   bounded wall time on every backend; a dead worker is an event, not a
+   deadlock.
+2. **Dead worker ⇒ degraded or FAILED** — with ``degrade=True`` a kill
+   leaves the run FINISHED-degraded with *exactly* the fault-free rows
+   (the fragment re-ran from scratch; partial rows were discarded); with
+   ``degrade=False`` it raises :class:`ParallelExecutionError` with a
+   diagnosis. Silent row loss is never an outcome.
+3. **No leaked workers** — after the terminal state every spawned process
+   is dead (no orphan consuming the machine).
+4. **Scheduler slot released** — a parallel session that dies under
+   chaos still leaves the scheduler's pending count at zero, so the
+   admission budget is returned.
+5. **Monotone progress** — published snapshots never regress, even
+   across a worker death that discards that worker's progress.
+
+Worker-side faults fire inside rebuilt per-worker plans (``seed +
+worker_id``), invisible to the coordinator's own ``FaultPlan`` log — so
+the seeded sweeps assert outcome-conditional invariants, and the
+deterministic ``every=1`` cases pin down that kills *do* happen and *do*
+degrade.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.faults import ERROR, SITE_WORKER_EXEC, SITE_WORKER_SPAWN, FaultPlan, FaultSpec
+from repro.parallel import (
+    Coordinator,
+    ParallelExecutionError,
+    ParallelQuerySession,
+    try_compile,
+)
+from repro.server.scheduler import Scheduler
+from repro.sql import compile_select
+
+from tests.chaos.invariants import check_snapshot_stream
+from tests.chaos.schedules import chaos_seeds, dump_failure, parallel_schedule
+
+QUERY = (
+    "SELECT c.name, o.totalprice FROM customer c JOIN orders o"
+    " ON c.custkey = o.custkey"
+)
+
+RUN_TIMEOUT_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def _lock_asserts(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_ASSERTS", "1")
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.datagen import generate_tpch
+
+    return generate_tpch(sf=0.002, seed=21)
+
+
+@pytest.fixture(scope="module")
+def fragmented(db):
+    plan = compile_select(db, QUERY).plan
+    fragments = try_compile(plan, 4)
+    assert fragments is not None, "chaos query must be fragmentable"
+    return plan, fragments
+
+
+@pytest.fixture(scope="module")
+def baseline_rows(db, fragmented):
+    plan, _ = fragmented
+    return ExecutionEngine(plan).run().rows
+
+
+def run_bounded(coordinator: Coordinator) -> None:
+    """Invariant 1: pump to terminal within a hard wall-clock budget."""
+    deadline = time.monotonic() + RUN_TIMEOUT_S
+    coordinator.start()
+    while not coordinator.finished:
+        assert time.monotonic() < deadline, (
+            "coordinator still not terminal after "
+            f"{RUN_TIMEOUT_S}s — hung on a dead worker?"
+        )
+        coordinator.pump(0.05)
+
+
+def check_no_leaked_workers(coordinator: Coordinator) -> None:
+    """Invariant 3: every spawned process is dead once we are terminal."""
+    for worker_id, proc in coordinator._procs.items():
+        # Grace period: terminate() is asynchronous.
+        for _ in range(100):
+            if not proc.is_alive():
+                break
+            time.sleep(0.05)
+        assert not proc.is_alive(), f"worker {worker_id} leaked past terminal state"
+
+
+def kill_every_worker_plan() -> FaultPlan:
+    """A deterministic schedule: first ``worker.exec`` probe kills, every
+    worker (per-worker rebuilt plans all fire at opportunity 1)."""
+    return FaultPlan(
+        seed=7,
+        specs=[FaultSpec(SITE_WORKER_EXEC, kind=ERROR, every=1, count=1)],
+    )
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_worker_chaos_degrades_to_exact_rows(fragmented, baseline_rows, seed, backend):
+    """Invariant 2, degrade=True: chaos never changes the answer."""
+    _plan, fragments = fragmented
+    plan = parallel_schedule(seed)
+    snaps = []
+    coordinator = Coordinator(
+        fragments,
+        backend=backend,
+        faults=plan,
+        degrade=True,
+        on_progress=snaps.append,
+    )
+    run_bounded(coordinator)
+    try:
+        result = coordinator.result()
+        assert sorted(result.rows) == sorted(baseline_rows), (
+            "degraded run diverged from the fault-free baseline"
+        )
+        if result.degraded:
+            assert result.degraded_reason, "degraded without a reason"
+        spawn_aborts = [
+            r
+            for r in plan.records()
+            if r["site"] == SITE_WORKER_SPAWN and r["kind"] == ERROR
+        ]
+        if spawn_aborts:
+            assert result.degraded, "a spawn abort must mark the run degraded"
+        fractions = [s.progress for s in snaps]
+        assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:])), (
+            f"merged progress regressed: {fractions}"
+        )
+    except AssertionError:
+        dump_failure(f"parallel-{backend}-seed{seed}", plan, [])
+        raise
+    finally:
+        check_no_leaked_workers(coordinator)
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_guaranteed_kill_degrades(fragmented, baseline_rows, backend):
+    """Deterministic invariant 2: every worker dies once, the run still
+    finishes degraded with exact rows."""
+    _plan, fragments = fragmented
+    coordinator = Coordinator(
+        fragments, backend=backend, faults=kill_every_worker_plan(), degrade=True
+    )
+    run_bounded(coordinator)
+    result = coordinator.result()
+    check_no_leaked_workers(coordinator)
+    assert result.degraded, "every worker was killed; the run must be degraded"
+    assert "died" in (result.degraded_reason or "")
+    assert sorted(result.rows) == sorted(baseline_rows)
+
+
+@pytest.mark.parametrize("backend", ["inline", "process"])
+def test_guaranteed_kill_fails_without_degrade(fragmented, backend):
+    """Deterministic invariant 2, degrade=False: the kill is a diagnosed
+    failure, never a hang and never a silent partial result."""
+    _plan, fragments = fragmented
+    coordinator = Coordinator(
+        fragments, backend=backend, faults=kill_every_worker_plan(), degrade=False
+    )
+    run_bounded(coordinator)
+    check_no_leaked_workers(coordinator)
+    assert coordinator.error, "worker death without degrade must diagnose a failure"
+    with pytest.raises(ParallelExecutionError):
+        coordinator.result()
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_worker_chaos_fails_cleanly_without_degrade(fragmented, baseline_rows, seed):
+    """Seeded invariant 2, degrade=False: either a diagnosed failure or a
+    fault-free-identical success — nothing in between."""
+    _plan, fragments = fragmented
+    plan = parallel_schedule(seed)
+    coordinator = Coordinator(
+        fragments, backend="inline", faults=plan, degrade=False
+    )
+    run_bounded(coordinator)
+    check_no_leaked_workers(coordinator)
+    if coordinator.error:
+        with pytest.raises(ParallelExecutionError):
+            coordinator.result()
+    else:
+        result = coordinator.result()
+        assert sorted(result.rows) == sorted(baseline_rows)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_parallel_session_releases_scheduler_slot(fragmented, baseline_rows, seed):
+    """Invariants 4 + 5 at the session/scheduler layer."""
+    plan, fragments = fragmented
+    faults = parallel_schedule(seed)
+    session = ParallelQuerySession(
+        plan,
+        fragments,
+        name=f"chaos-parallel-{seed}",
+        backend="inline",
+        faults=faults,
+        degrade=True,
+    )
+    snaps = []
+    session.add_listener(lambda _s, snap: snaps.append(snap))
+    scheduler = Scheduler(workers=2, policy="fair")
+    scheduler.start()
+    try:
+        scheduler.submit(session)
+        assert scheduler.run_until_complete(timeout=RUN_TIMEOUT_S), (
+            "scheduler never drained — parallel session hung under chaos"
+        )
+    finally:
+        scheduler.shutdown()
+    assert session.finished, f"session not terminal: {session.state}"
+    assert scheduler.pending == 0, "terminal session still holds its slot"
+    assert session.state.value in ("finished", "failed"), session.state
+    if session.state.value == "finished":
+        assert sorted(session.rows) == sorted(baseline_rows)
+        assert session.snapshot().progress == 1.0
+    else:
+        assert session.error
+    check_snapshot_stream(snaps)
+    # Terminal sessions must have released their locks.
+    for name in ("_step_lock", "_snap_lock"):
+        lock = getattr(session, name)
+        assert lock.acquire(blocking=False), f"leaked {name}"
+        lock.release()

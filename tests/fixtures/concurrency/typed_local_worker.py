@@ -1,0 +1,30 @@
+"""Typed-local resolution: a module-level worker loop (no ``self``) must
+still honour class lock protocols — ``bus = Bus(...)`` followed by
+``with bus.lock:`` canonicalizes to ``Bus.lock``."""
+
+import threading
+
+
+class Bus:
+    _guarded_by_ = {"count": "lock"}
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.count = 0
+
+
+def worker_loop_locked(n: int) -> int:
+    bus = Bus()
+    for _ in range(n):
+        with bus.lock:
+            bus.count += 1
+    with bus.lock:
+        return bus.count
+
+
+def worker_loop_racy(n: int) -> int:
+    bus = Bus()
+    for _ in range(n):
+        # X001: guarded field written through a typed local, lock not held.
+        bus.count += 1
+    return bus.count

@@ -240,3 +240,20 @@ class TestCliIntegration:
             ["analyze", flag, "--baseline", str(REPO / "concurrency_baseline.json")]
         )
         assert code == 0
+
+
+class TestTypedLocalResolution:
+    """Lock expressions resolve through typed locals, so module-level
+    functions — the parallel worker loop is the motivating case — are held
+    to the same protocol as methods."""
+
+    def test_racy_free_function_flagged_locked_one_clean(self) -> None:
+        findings = analyze_paths([fixture("typed_local_worker.py")])
+        assert codes_of(findings) == {"X001"}
+        assert all(f.symbol == "worker_loop_racy" for f in findings)
+        assert all("Bus.count" in f.message for f in findings)
+
+    def test_shipped_parallel_package_clean(self) -> None:
+        parallel_pkg = REPO / "src" / "repro" / "parallel"
+        findings = analyze_paths([str(parallel_pkg)])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -212,3 +212,64 @@ class TestR001ServerExtension:
     def test_shipped_server_package_is_clean(self):
         server_pkg = REPO / "src" / "repro" / "server"
         assert lint_paths([str(server_pkg)], rules={"R001"}) == []
+
+class TestCoordinatorPackageExtension:
+    """The stricter R001/R005 forms extend to ``repro/parallel/``: the
+    coordinator stack merges progress, it never drives or replays it."""
+
+    TICK_SOURCE = (
+        "class Merger:\n"
+        "    def poke(self, bus):\n"
+        "        bus.tick()\n"
+        "        bus.tick_n(4)\n"
+        "        bus.count = 0\n"
+    )
+    MERGE_SOURCE = (
+        "class MergedState:\n"
+        "    def fold(self, delta):\n"
+        "        for key, count in delta.items():\n"
+        "            self.estimator.on_probe(key, count)\n"
+        "\n"
+        "    def apply(self, rows):\n"
+        "        for row in rows:\n"
+        "            self.estimator.observe(row)\n"
+    )
+
+    def _write(self, tmp_path, source, *parts):
+        target = tmp_path.joinpath(*parts)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        return str(target)
+
+    def test_r001_tick_flagged_in_parallel_package(self, tmp_path):
+        path = self._write(
+            tmp_path, self.TICK_SOURCE, "repro", "parallel", "bad_merge.py"
+        )
+        violations = lint_paths([path], rules={"R001"})
+        assert len(violations) == 3
+        assert rules_of(violations) == {"R001"}
+
+    def test_r005_per_row_hooks_flagged_in_coordinator_merge_loops(
+        self, tmp_path
+    ):
+        path = self._write(
+            tmp_path, self.MERGE_SOURCE, "repro", "parallel", "bad_fold.py"
+        )
+        violations = lint_paths([path], rules={"R005"})
+        # on_probe inside fold(), observe inside apply().
+        assert len(violations) == 2
+        assert rules_of(violations) == {"R005"}
+        assert all("merge" in v.message for v in violations)
+
+    def test_r005_merge_loop_scan_only_applies_to_coordinator_packages(
+        self, tmp_path
+    ):
+        path = self._write(
+            tmp_path, self.MERGE_SOURCE, "repro", "executor", "fine_fold.py"
+        )
+        assert lint_paths([path], rules={"R005"}) == []
+
+    def test_shipped_parallel_package_is_clean(self):
+        parallel_pkg = REPO / "src" / "repro" / "parallel"
+        violations = lint_paths([str(parallel_pkg)])
+        assert violations == [], "\n".join(v.render() for v in violations)

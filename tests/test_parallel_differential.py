@@ -1,0 +1,173 @@
+"""Parallel-vs-serial differential oracle.
+
+Reuses the PR-2 random plan generator (``tests.test_differential_batch``)
+and checks, for every fragmentable plan and P ∈ {1, 2, 4}:
+
+1. **Row multisets identical** — merged parallel output equals the
+   serial run's output as a multiset (ordering differs only where the
+   serial plan itself had no order guarantee; peeled SortSteps restore
+   exact order and are compared exactly in the fragments tests).
+2. **Final progress exactly 1.0** — the merged monitor's last snapshot
+   pins ``total = done``.
+3. **Monotone merged progress** — the coordinator's snapshot stream
+   never regresses.
+4. **Merged estimator state bit-identical to serial** — after both runs
+   finish, every ONCE/chain/group estimator's merged sufficient
+   statistics (``t``, ``sum_counts``/per-level sums, histogram counts,
+   interval moment sums, exactness) equal the serial estimator's state
+   exactly. This is the strongest form of the paper-level claim: the
+   parallel progress indicator is not merely *close* — at probe end it
+   is the *same* estimator.
+
+The broad sweep runs the deterministic inline backend; a smoke subset
+re-runs through real ``multiprocessing`` workers to cover the pipe
+protocol end to end.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.core.progress import ProgressMonitor
+from repro.executor.engine import ExecutionEngine, TickBus
+from repro.executor.plan import walk
+from repro.parallel import Coordinator, try_compile
+
+from tests.test_differential_batch import build_plan
+
+NUM_TRIALS = 48
+PROCESS_TRIALS = (3, 11, 17, 28)  # fragmentable subset re-run with real processes
+PARALLELISMS = (1, 2, 4)
+
+
+def _serial_observation(trial: int):
+    """Run trial ``trial`` serially with full monitoring; return
+    ``(rows multiset, estimator manager, node ops by python id)``."""
+    plan = build_plan(trial)
+    bus = TickBus(1000)
+    monitor = ProgressMonitor(plan, mode="once", bus=bus)
+    result = ExecutionEngine(plan, bus=bus).run(batch_size=256)
+    ops = {id(op): op for op in walk(plan)}
+    return collections.Counter(result.rows), monitor.manager, ops
+
+
+def _assert_merged_state_matches(manager, ops, merged, trial, p):
+    """Invariant 4: merged parallel statistics == serial statistics."""
+    context = f"trial={trial} P={p}"
+    for op_key, once in manager.join_estimators.items():
+        nid = ops[op_key].node_id
+        state = merged.get(("once", (nid,)))
+        assert state is not None, f"{context}: once@{nid} missing from merge"
+        assert state.t == once.t, f"{context}: once@{nid} t"
+        assert state.sum_counts == once.sum_counts, f"{context}: once@{nid} Σcounts"
+        assert state.exact and once.exact, f"{context}: once@{nid} exactness"
+        assert dict(state.counts) == dict(once.histogram.counts), (
+            f"{context}: once@{nid} histogram"
+        )
+        interval = once._interval
+        assert state.interval_sums == (
+            interval.count,
+            interval.sum_x,
+            interval.sum_x_sq,
+        ), f"{context}: once@{nid} interval sums"
+        assert state.estimate() == float(once.sum_counts), (
+            f"{context}: once@{nid} estimate must collapse to exact"
+        )
+    for chain in manager.chain_estimators:
+        sids = tuple(join.node_id for join in chain.chain)
+        state = merged.get(("chain", sids))
+        assert state is not None, f"{context}: chain@{sids} missing from merge"
+        assert state.t == chain.t, f"{context}: chain@{sids} t"
+        assert list(state.sums) == list(chain.sums), f"{context}: chain@{sids} sums"
+        for level, hist in enumerate(chain.base_hists):
+            assert dict(state.hists[level]) == dict(hist.counts), (
+                f"{context}: chain@{sids} level-{level} histogram"
+            )
+    for op_key, group in manager.group_estimators.items():
+        nid = ops[op_key].node_id
+        state = merged.get(("group", (nid,)))
+        assert state is not None, f"{context}: group@{nid} missing from merge"
+        assert dict(state.counts) == dict(
+            group.hybrid.state.histogram.counts
+        ), f"{context}: group@{nid} histogram"
+        assert state.exact == group.hybrid.exact, f"{context}: group@{nid} exactness"
+
+
+def _run_parallel(trial, p, backend):
+    fragments = try_compile(build_plan(trial), p)
+    if fragments is None:
+        return None
+    coordinator = Coordinator(fragments, backend=backend, delta_every=512)
+    result = coordinator.run(poll_s=0.02)
+    return coordinator, result
+
+
+@pytest.mark.parametrize("trial", range(NUM_TRIALS))
+def test_inline_parallel_matches_serial(trial):
+    serial_rows, manager, ops = _serial_observation(trial)
+    fragmented_any = False
+    for p in PARALLELISMS:
+        run = _run_parallel(trial, p, "inline")
+        if run is None:
+            continue
+        fragmented_any = True
+        coordinator, result = run
+        # 1: identical row multisets.
+        assert collections.Counter(result.rows) == serial_rows, (
+            f"trial={trial} P={p}: rows diverged "
+            f"({len(result.rows)} vs {sum(serial_rows.values())})"
+        )
+        # 2: final progress exactly 1.0.
+        final = coordinator.monitor.snapshot()
+        assert final.work_done == final.work_total_estimate, (
+            f"trial={trial} P={p}: final total not pinned to done"
+        )
+        assert final.progress == 1.0
+        # 3: monotone merged progress stream.
+        fractions = [
+            s.progress
+            for s in coordinator.monitor.snapshots
+            if s.work_total_estimate > 0
+        ]
+        assert all(
+            b >= a - 1e-12 for a, b in zip(fractions, fractions[1:])
+        ), f"trial={trial} P={p}: progress regressed: {fractions}"
+        # 4: merged estimator state bit-identical to serial.
+        if manager is not None:
+            _assert_merged_state_matches(
+                manager, ops, coordinator.monitor.merged_estimators(), trial, p
+            )
+    if not fragmented_any:
+        pytest.skip(f"trial {trial} not fragmentable at any P (serial fallback)")
+
+
+@pytest.mark.parametrize("trial", PROCESS_TRIALS)
+def test_process_backend_matches_serial(trial):
+    serial_rows, manager, ops = _serial_observation(trial)
+    run = _run_parallel(trial, 4, "process")
+    if run is None:
+        pytest.skip(f"trial {trial} not fragmentable at P=4")
+    coordinator, result = run
+    assert collections.Counter(result.rows) == serial_rows
+    final = coordinator.monitor.snapshot()
+    assert final.progress == 1.0
+    if manager is not None:
+        _assert_merged_state_matches(
+            manager, ops, coordinator.monitor.merged_estimators(), trial, 4
+        )
+
+
+def test_sweep_actually_covers_fragmentable_plans():
+    """Meta-test: the generator must keep feeding the oracle real work —
+    a harness where everything falls back to serial proves nothing."""
+    fragmentable = sum(
+        1
+        for trial in range(NUM_TRIALS)
+        if try_compile(build_plan(trial), 4) is not None
+    )
+    assert fragmentable >= NUM_TRIALS // 3, (
+        f"only {fragmentable}/{NUM_TRIALS} trials fragmentable — "
+        "the differential sweep lost its coverage"
+    )

@@ -1,0 +1,181 @@
+"""The fragmentation compiler: region split, merge steps, refusals."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.executor.engine import ExecutionEngine
+from repro.parallel.fragments import (
+    AggregateStep,
+    DistinctStep,
+    FragmentationError,
+    ProjectStep,
+    SortStep,
+    compile_fragments,
+    try_compile,
+)
+from repro.sql import compile_select
+
+JOIN_SQL = (
+    "SELECT c.name, o.totalprice FROM customer c JOIN orders o"
+    " ON c.custkey = o.custkey"
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.datagen import generate_tpch
+
+    return generate_tpch(sf=0.002, seed=5)
+
+
+def _plan(db, sql):
+    return compile_select(db, sql).plan
+
+
+def _parallel_rows(db, sql, p=3):
+    plan = _plan(db, sql)
+    fragments = try_compile(plan, p)
+    assert fragments is not None, f"expected fragmentable: {sql}"
+    raw = []
+    for worker in range(p):
+        raw.extend(ExecutionEngine(fragments.build_fragment(worker)).run().rows)
+    return fragments, fragments.merge_rows(raw)
+
+
+def _serial_rows(db, sql):
+    return ExecutionEngine(_plan(db, sql)).run().rows
+
+
+# -- the partitioned region ----------------------------------------------------
+
+
+def test_co_partitioned_join_fragments_are_exact(db):
+    fragments, merged = _parallel_rows(db, JOIN_SQL)
+    assert fragments.steps == ()
+    assert not fragments.broadcast_builds, "equi-key join should co-partition"
+    assert collections.Counter(merged) == collections.Counter(
+        _serial_rows(db, JOIN_SQL)
+    )
+
+
+def test_fragments_are_fresh_and_identically_mapped(db):
+    fragments = try_compile(_plan(db, JOIN_SQL), 2)
+    a, b = fragments.build_fragment(0), fragments.build_fragment(1)
+    assert a is not fragments.build_fragment(0), "fragments must be single-use clones"
+    # node_map covers every fragment node and lands on serial node ids.
+    from repro.executor.plan import validate_plan, walk
+
+    serial = _plan(db, JOIN_SQL)
+    validate_plan(serial)
+    serial_ids = {op.node_id for op in walk(serial)}
+    for fragment in (a, b):
+        validate_plan(fragment)
+        for op in walk(fragment):
+            assert fragments.node_map[op.node_id] in serial_ids
+
+
+def test_shards_cover_each_base_table(db):
+    fragments = try_compile(_plan(db, JOIN_SQL), 4)
+    union = collections.Counter()
+    for p in range(4):
+        fragment = fragments.build_fragment(p)
+        from repro.executor.operators.scan import SeqScan
+        from repro.executor.plan import walk
+
+        for op in walk(fragment):
+            if isinstance(op, SeqScan):
+                union.update((op.table.name, row) for row in op.table.rows())
+    serial_count = collections.Counter()
+    from repro.executor.operators.scan import SeqScan
+    from repro.executor.plan import walk
+
+    for op in walk(_plan(db, JOIN_SQL)):
+        if isinstance(op, SeqScan):
+            serial_count.update((op.table.name, row) for row in op.table.rows())
+    assert union == serial_count
+
+
+# -- the merge recipe ----------------------------------------------------------
+
+
+def test_global_aggregate_decomposes(db):
+    sql = "SELECT COUNT(*), SUM(o.totalprice), AVG(o.totalprice) FROM orders o"
+    fragments, merged = _parallel_rows(db, sql)
+    assert any(isinstance(s, AggregateStep) for s in fragments.steps)
+    serial = _serial_rows(db, sql)
+    assert len(merged) == len(serial) == 1
+    assert merged[0][0] == serial[0][0]
+    assert merged[0][1] == pytest.approx(serial[0][1])
+    assert merged[0][2] == pytest.approx(serial[0][2])
+
+
+def test_group_by_aggregate_decomposes(db):
+    sql = (
+        "SELECT o.custkey, COUNT(*), MIN(o.totalprice) FROM orders o"
+        " GROUP BY o.custkey"
+    )
+    fragments, merged = _parallel_rows(db, sql)
+    assert any(isinstance(s, AggregateStep) for s in fragments.steps)
+    assert sorted(merged) == sorted(_serial_rows(db, sql))
+
+
+def test_project_above_aggregate_peels_to_coordinator(db):
+    # Project → HashAggregate → Join: the Project cannot run on partial
+    # aggregates, so it must become a coordinator ProjectStep.
+    sql = (
+        "SELECT COUNT(*) FROM customer c JOIN orders o"
+        " ON c.custkey = o.custkey GROUP BY c.nationkey"
+    )
+    fragments, merged = _parallel_rows(db, sql)
+    assert any(isinstance(s, ProjectStep) for s in fragments.steps)
+    assert sorted(merged) == sorted(_serial_rows(db, sql))
+
+
+def test_order_by_peels_to_sort_step(db):
+    sql = "SELECT o.orderkey, o.totalprice FROM orders o ORDER BY o.totalprice"
+    fragments, merged = _parallel_rows(db, sql)
+    assert any(isinstance(s, SortStep) for s in fragments.steps)
+    assert merged == _serial_rows(db, sql)
+
+
+def test_distinct_peels_to_distinct_step(db):
+    sql = "SELECT DISTINCT o.custkey FROM orders o"
+    fragments, merged = _parallel_rows(db, sql)
+    assert any(isinstance(s, DistinctStep) for s in fragments.steps)
+    assert sorted(merged) == sorted(_serial_rows(db, sql))
+
+
+# -- refusals ------------------------------------------------------------------
+
+
+def test_limit_refuses_to_fragment(db):
+    sql = "SELECT o.orderkey FROM orders o LIMIT 10"
+    assert try_compile(_plan(db, sql), 2) is None
+    with pytest.raises(FragmentationError):
+        compile_fragments(_plan(db, sql), 2)
+
+
+def test_count_distinct_refuses_to_fragment(db):
+    sql = "SELECT COUNT(DISTINCT o.custkey) AS d FROM orders o"
+    assert try_compile(_plan(db, sql), 2) is None
+
+
+def test_invalid_partition_count_raises(db):
+    with pytest.raises(FragmentationError):
+        compile_fragments(_plan(db, JOIN_SQL), 0)
+
+
+def test_p1_still_compiles_and_matches(db):
+    fragments, merged = _parallel_rows(db, JOIN_SQL, p=1)
+    assert collections.Counter(merged) == collections.Counter(
+        _serial_rows(db, JOIN_SQL)
+    )
+
+
+def test_describe_is_informative(db):
+    fragments = try_compile(_plan(db, JOIN_SQL), 4)
+    text = fragments.describe()
+    assert "P=4" in text

@@ -1,0 +1,167 @@
+"""Partitioner invariants: disjoint covers, join safety, stable routing."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.storage.partition import PartitionError, Partitioner, stable_hash
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+
+def _table(rows, name="t", schema="k:int,v:int", block_size=8):
+    return Table(name, Schema.of(*schema.split(",")), rows, block_size)
+
+
+def _mixed_rows(n=200, none_rate=0.1, seed=3):
+    rng = make_rng(seed, "partitioner")
+    return [
+        (None if rng.random() < none_rate else int(rng.integers(0, 40)), i)
+        for i in range(n)
+    ]
+
+
+# -- stable_hash ---------------------------------------------------------------
+
+
+def test_stable_hash_int_identity_and_float_equality():
+    assert stable_hash(17) == 17
+    assert stable_hash(-3) == -3
+    # 2 == 2.0 in Python, so they must route identically.
+    assert stable_hash(2.0) == stable_hash(2)
+    assert stable_hash(True) == 1
+    assert stable_hash(None) == 0
+
+
+def test_stable_hash_is_deterministic_for_strings():
+    # The point of CRC over builtin hash(): PYTHONHASHSEED-independent.
+    assert stable_hash("custkey-123") == stable_hash("custkey-123")
+    assert isinstance(stable_hash("abc"), int)
+    assert stable_hash(b"abc") == stable_hash(b"abc")
+    assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+    assert stable_hash(("a", 1)) != stable_hash(("a", 2))
+
+
+# -- cover + disjointness ------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ["hash", "range", "rows"])
+@pytest.mark.parametrize("p", [1, 2, 4, 7])
+def test_partition_is_a_disjoint_cover(strategy, p):
+    table = _table(_mixed_rows())
+    column = None if strategy == "rows" else "k"
+    shards = Partitioner(p, strategy=strategy).partition(table, column)
+    assert len(shards) == p or p == 1
+    union = collections.Counter()
+    for shard in shards:
+        union.update(shard.rows())
+        assert shard.name == table.name
+        assert shard.schema.names() == table.schema.names()
+        assert shard.block_size == table.block_size
+    assert union == collections.Counter(table.rows()), "shards must cover exactly"
+
+
+def test_same_key_lands_in_same_partition_hash():
+    table = _table(_mixed_rows(none_rate=0.0))
+    shards = Partitioner(4, strategy="hash").partition(table, "k")
+    home: dict[object, int] = {}
+    for pid, shard in enumerate(shards):
+        for row in shard.rows():
+            assert home.setdefault(row[0], pid) == pid, (
+                f"key {row[0]} split across partitions"
+            )
+
+
+def test_none_keys_route_to_partition_zero():
+    rows = [(None, i) for i in range(10)] + [(5, 99)]
+    shards = Partitioner(3, strategy="hash").partition(_table(rows), "k")
+    assert all(row[0] is not None for shard in shards[1:] for row in shard.rows())
+    assert sum(1 for row in shards[0].rows() if row[0] is None) == 10
+
+
+def test_co_partitioning_preserves_join_matches():
+    """The partition-wise join guarantee: R ⋈ S == ⋃_p (R_p ⋈ S_p)."""
+    rng = make_rng(11, "copart")
+    left = _table(
+        [(int(rng.integers(0, 25)), i) for i in range(150)], name="l"
+    )
+    right = _table(
+        [(int(rng.integers(0, 25)), i) for i in range(130)], name="r"
+    )
+    serial = collections.Counter(
+        (lk, lv, rv)
+        for lk, lv in left.rows()
+        for rk, rv in right.rows()
+        if lk == rk
+    )
+    partitioner = Partitioner(4, strategy="hash")
+    left_shards = partitioner.partition(left, "k")
+    right_shards = partitioner.partition(right, "k")
+    merged = collections.Counter()
+    for ls, rs in zip(left_shards, right_shards):
+        merged.update(
+            (lk, lv, rv)
+            for lk, lv in ls.rows()
+            for rk, rv in rs.rows()
+            if lk == rk
+        )
+    assert merged == serial
+
+
+def test_range_partitioning_routes_by_bounds():
+    table = _table([(i, i) for i in range(30)])
+    shards = Partitioner(3, strategy="range", bounds=[9, 19]).partition(table, "k")
+    assert [sorted(r[0] for r in s.rows()) for s in shards] == [
+        list(range(10)),
+        list(range(10, 20)),
+        list(range(20, 30)),
+    ]
+
+
+def test_range_partitioning_derives_equidepth_bounds():
+    table = _table(_mixed_rows(none_rate=0.0))
+    shards = Partitioner(4, strategy="range").partition(table, "k")
+    union = collections.Counter()
+    for shard in shards:
+        union.update(shard.rows())
+    assert union == collections.Counter(table.rows())
+    # Equal values never straddle a cut.
+    home: dict[object, int] = {}
+    for pid, shard in enumerate(shards):
+        for row in shard.rows():
+            assert home.setdefault(row[0], pid) == pid
+
+
+def test_rows_strategy_preserves_order_within_shards():
+    table = _table([(i, i) for i in range(50)], block_size=8)
+    shards = Partitioner(3, strategy="rows").partition(table)
+    flat = [row for shard in shards for row in shard.rows()]
+    assert flat == table.rows(), "rows strategy must be a contiguous split"
+
+
+# -- validation ----------------------------------------------------------------
+
+
+def test_invalid_requests_raise():
+    with pytest.raises(PartitionError):
+        Partitioner(0)
+    with pytest.raises(PartitionError):
+        Partitioner(2, strategy="modulo")
+    with pytest.raises(PartitionError):
+        Partitioner(3, strategy="range", bounds=[1])  # needs P-1 = 2
+    with pytest.raises(PartitionError):
+        Partitioner(3, strategy="range", bounds=[5, 5])  # not ascending
+    with pytest.raises(PartitionError):
+        Partitioner(2, strategy="hash", bounds=[1])
+    with pytest.raises(PartitionError):
+        Partitioner(2, strategy="hash").partition(_table([(1, 1)]))  # no column
+    with pytest.raises(PartitionError):
+        Partitioner(2, strategy="rows").partition_id(3)
+
+
+def test_single_partition_is_identity():
+    table = _table(_mixed_rows())
+    assert Partitioner(1).partition(table, "k") == [table]
