@@ -73,9 +73,11 @@ def _measure(sessions: int) -> dict:
     subscription = svc.events.subscribe(maxlen=100_000)
 
     def drain() -> None:
+        # The bus carries pre-encoded PublishedFrame objects; the frame's
+        # cached wire dict is the snapshot payload.
         for event in subscription:
-            if event.get("event") == "snapshot":
-                wire = event["session"]
+            wire = getattr(event, "wire", None)
+            if wire is not None:
                 receive_times[(wire["session_id"], wire["seq"])] = time.time()
 
     drainer = threading.Thread(target=drain, daemon=True)

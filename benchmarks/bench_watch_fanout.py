@@ -1,0 +1,354 @@
+"""Serialize-once watch fan-out benchmark (perf-regression guard).
+
+Replays identical synthetic snapshot streams (4 interleaved sessions)
+through two fan-out pipelines at 1, 16, and 64 watchers:
+
+* **legacy** — the pre-change shape: every watcher rebuilds the wire
+  dict and JSON-encodes its own copy of every snapshot event
+  (O(steps x watchers) serializations);
+* **serialize-once** — the shipped shape: one
+  :class:`~repro.server.wire.SessionStreamEncoder` per session encodes
+  each snapshot to a frame exactly once (full keyframe + delta), and
+  watchers receive pre-encoded bytes via ``write_frame``.
+
+Both modes write the frames into per-watcher sinks, so the measured
+difference is serialization work, not I/O. The bench records sustained
+publish throughput, per-watcher delivery latency (p50/p95), and encode
+call counts, and re-verifies in-bench that the delta stream reassembles
+**bit-identically** to the full snapshot stream.
+
+Acceptance (enforced standalone and in CI):
+
+* serialize-once sustains at least ``MIN_FANOUT_SPEEDUP``x (3x) the
+  legacy publish throughput at 64 watchers, measured in the same run;
+* encode calls are O(steps): the count at 64 watchers equals the count
+  at 1 watcher;
+* delta reassembly is bit-identical at every watcher count.
+
+CI re-runs the bench against the committed baseline and fails on a >25%
+speedup regression::
+
+    python benchmarks/bench_watch_fanout.py --check-against \
+        benchmarks/results/BENCH_fanout.json
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_watch_fanout.py
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_watch_fanout.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import time
+from pathlib import Path
+
+from repro.server.protocol import decode, encode, write_frame
+from repro.server.session import SessionSnapshot
+from repro.server.wire import SessionStreamEncoder, apply_delta
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_fanout.json"
+
+SESSIONS = 4
+STEPS = 300
+WATCHER_LEVELS = (1, 16, 64)
+BEST_OF = 3
+
+#: Acceptance: serialize-once publish throughput at 64 watchers vs legacy.
+MIN_FANOUT_SPEEDUP = 3.0
+#: CI guard: fresh 64-watcher speedup may fall below baseline by 25%…
+GUARD_FACTOR = 1.25
+#: …plus this absolute slack (shields timer noise on small walls).
+GUARD_SLACK = 0.5
+
+
+def _streams() -> list[list[SessionSnapshot]]:
+    """Deterministic per-session snapshot sequences with realistic field
+    churn: progress/work/rows/elapsed move every step, identity fields
+    never do, and the last step is terminal."""
+    streams = []
+    for s in range(SESSIONS):
+        snaps = []
+        for i in range(1, STEPS + 1):
+            terminal = i == STEPS
+            snaps.append(
+                SessionSnapshot(
+                    session_id=f"bench-{s}",
+                    name=f"fanout-{s}",
+                    state="finished" if terminal else "running",
+                    seq=i,
+                    progress=1.0 if terminal else i / STEPS,
+                    work_done=float(i * 57 + s),
+                    work_total_estimate=float(STEPS * 57),
+                    row_count=i * 13 + s,
+                    elapsed_s=i * 0.003,
+                )
+            )
+        streams.append(snaps)
+    return streams
+
+
+def _publish_order(streams: list[list[SessionSnapshot]]) -> list[SessionSnapshot]:
+    """Round-robin across sessions — the interleaving a live scheduler
+    produces, and the worst case for delta chains (no two consecutive
+    frames share a session)."""
+    return [
+        streams[s][i] for i in range(STEPS) for s in range(SESSIONS)
+    ]
+
+
+def _legacy_wire(snap: SessionSnapshot) -> dict:
+    """The pre-change ``to_wire``: a fresh dict per call, no memoization."""
+    return {
+        "session_id": snap.session_id,
+        "name": snap.name,
+        "state": snap.state,
+        "seq": snap.seq,
+        "progress": round(snap.progress, 6),
+        "work_done": round(snap.work_done, 3),
+        "work_total_estimate": round(snap.work_total_estimate, 3),
+        "row_count": snap.row_count,
+        "elapsed_s": round(snap.elapsed_s, 4),
+        "error": snap.error,
+        "degraded": snap.degraded,
+        "degraded_reason": snap.degraded_reason,
+        "retries": snap.retries,
+    }
+
+
+def _run_legacy(publishes: list[SessionSnapshot], watchers: int) -> dict:
+    sinks = [io.BytesIO() for _ in range(watchers)]
+    encode_calls = 0
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for snap in publishes:
+        t0 = time.perf_counter()
+        for sink in sinks:
+            payload = encode({"event": "snapshot", "session": _legacy_wire(snap)})
+            encode_calls += 1
+            sink.write(payload)
+            latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    return {"wall_s": wall, "encode_calls": encode_calls, "latencies": latencies}
+
+
+def _run_new(publishes: list[SessionSnapshot], watchers: int) -> dict:
+    sinks = [io.BytesIO() for _ in range(watchers)]
+    encoders: dict[str, SessionStreamEncoder] = {}
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for snap in publishes:
+        t0 = time.perf_counter()
+        encoder = encoders.get(snap.session_id)
+        if encoder is None:
+            encoder = encoders[snap.session_id] = SessionStreamEncoder()
+        frame = encoder.encode(snap)
+        payload = frame.delta if frame.delta is not None else frame.full
+        for sink in sinks:
+            write_frame(sink, payload)
+            latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": wall,
+        "encode_calls": sum(e.encode_calls for e in encoders.values()),
+        "latencies": latencies,
+        "sinks": sinks,
+    }
+
+
+def _verify_reassembly(sink: io.BytesIO, streams: list[list[SessionSnapshot]]) -> int:
+    """Decode one watcher's raw byte stream and reassemble it; every
+    session's reconstructed snapshots must equal the published wires
+    bit-for-bit. Returns the number of snapshots verified."""
+    truth = {
+        (snap.session_id, snap.seq): snap.to_wire()
+        for stream in streams
+        for snap in stream
+    }
+    current: dict[str, dict] = {}
+    verified = 0
+    for line in sink.getvalue().splitlines():
+        event = decode(line + b"\n")
+        if event["event"] == "snapshot":
+            wire = event["session"]
+        elif event["event"] == "delta":
+            wire = apply_delta(current[event["session_id"]], event)
+        else:
+            raise AssertionError(f"unexpected event {event['event']!r}")
+        sid = wire["session_id"]
+        current[sid] = wire
+        expected = truth[(sid, wire["seq"])]
+        if wire != expected:
+            raise AssertionError(
+                f"reassembly diverged at {sid} seq {wire['seq']}: "
+                f"{wire} != {expected}"
+            )
+        verified += 1
+    if verified != SESSIONS * STEPS:
+        raise AssertionError(
+            f"watcher saw {verified} frames, expected {SESSIONS * STEPS}"
+        )
+    return verified
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+
+def _measure_level(publishes, streams, watchers: int) -> dict:
+    """Best-of-``BEST_OF`` for both modes, round-robin so slow drift
+    spreads evenly instead of skewing whichever mode ran last."""
+    best_legacy: dict | None = None
+    best_new: dict | None = None
+    for _ in range(BEST_OF):
+        legacy = _run_legacy(publishes, watchers)
+        fresh = _run_new(publishes, watchers)
+        if best_legacy is None or legacy["wall_s"] < best_legacy["wall_s"]:
+            best_legacy = legacy
+        if best_new is None or fresh["wall_s"] < best_new["wall_s"]:
+            best_new = fresh
+    _verify_reassembly(best_new["sinks"][0], streams)
+    publishes_n = len(publishes)
+    return {
+        "watchers": watchers,
+        "publishes": publishes_n,
+        "legacy_wall_s": round(best_legacy["wall_s"], 4),
+        "new_wall_s": round(best_new["wall_s"], 4),
+        "speedup": round(best_legacy["wall_s"] / best_new["wall_s"], 2),
+        "legacy_publishes_per_sec": round(publishes_n / best_legacy["wall_s"], 1),
+        "new_publishes_per_sec": round(publishes_n / best_new["wall_s"], 1),
+        "legacy_encode_calls": best_legacy["encode_calls"],
+        "new_encode_calls": best_new["encode_calls"],
+        "legacy_latency_ms_p50": round(_percentile(best_legacy["latencies"], 0.50) * 1000, 4),
+        "legacy_latency_ms_p95": round(_percentile(best_legacy["latencies"], 0.95) * 1000, 4),
+        "new_latency_ms_p50": round(_percentile(best_new["latencies"], 0.50) * 1000, 4),
+        "new_latency_ms_p95": round(_percentile(best_new["latencies"], 0.95) * 1000, 4),
+        "delta_reassembly_ok": True,
+    }
+
+
+def run_bench() -> dict:
+    streams = _streams()
+    publishes = _publish_order(streams)
+    levels = [_measure_level(publishes, streams, w) for w in WATCHER_LEVELS]
+    by_watchers = {level["watchers"]: level for level in levels}
+    # Byte economics of the delta stream for the record: total bytes one
+    # watcher receives, delta-mode vs all-keyframes.
+    full_bytes = sum(
+        len(encode({"event": "snapshot", "session": s.to_wire()}))
+        for stream in streams for s in stream
+    )
+    probe = _run_new(publishes, 1)
+    delta_bytes = len(probe["sinks"][0].getvalue())
+    payload = {
+        "benchmark": "watch_fanout",
+        "sessions": SESSIONS,
+        "steps_per_session": STEPS,
+        "levels": levels,
+        "speedup_64": by_watchers[64]["speedup"],
+        "min_fanout_speedup": MIN_FANOUT_SPEEDUP,
+        "encode_calls_flat_across_watchers": (
+            by_watchers[64]["new_encode_calls"] == by_watchers[1]["new_encode_calls"]
+        ),
+        "delta_stream_bytes": delta_bytes,
+        "full_stream_bytes": full_bytes,
+        "delta_bytes_ratio": round(delta_bytes / full_bytes, 3),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check_against(payload: dict, baseline: dict) -> tuple[bool, str]:
+    """Perf guard: the fresh 64-watcher speedup must not fall more than
+    25% below the committed baseline (with absolute slack for noise),
+    and never below the hard acceptance floor."""
+    base = baseline["speedup_64"]
+    fresh = payload["speedup_64"]
+    required = max(base / GUARD_FACTOR - GUARD_SLACK, MIN_FANOUT_SPEEDUP)
+    ok = fresh >= required
+    verdict = "PASS" if ok else "FAIL"
+    return ok, (
+        f"{verdict}: 64-watcher fan-out speedup is {fresh}x "
+        f"(baseline {base}x, required >= {round(required, 2)}x)"
+    )
+
+
+def _acceptance(payload: dict) -> list[str]:
+    problems = []
+    if payload["speedup_64"] < MIN_FANOUT_SPEEDUP:
+        problems.append(
+            f"64-watcher speedup {payload['speedup_64']}x "
+            f"< required {MIN_FANOUT_SPEEDUP}x"
+        )
+    if not payload["encode_calls_flat_across_watchers"]:
+        problems.append("encode calls scale with watcher count")
+    return problems
+
+
+def test_watch_fanout(report):
+    payload = run_bench()
+    report.table(
+        ["watchers", "legacy p/s", "new p/s", "speedup", "enc legacy", "enc new"],
+        [
+            [
+                lvl["watchers"],
+                int(lvl["legacy_publishes_per_sec"]),
+                int(lvl["new_publishes_per_sec"]),
+                lvl["speedup"],
+                lvl["legacy_encode_calls"],
+                lvl["new_encode_calls"],
+            ]
+            for lvl in payload["levels"]
+        ],
+        widths=[10, 12, 12, 10, 12, 10],
+    )
+    report.line(f"speedup @64 watchers: {payload['speedup_64']}x")
+    report.line(f"delta/full bytes:     {payload['delta_bytes_ratio']}")
+    report.line(f"json: {RESULTS_PATH}")
+    assert _acceptance(payload) == [], payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE_JSON",
+        help="compare the fresh 64-watcher speedup against a committed "
+        "baseline and exit non-zero on regression",
+    )
+    args = parser.parse_args(argv)
+    # Parse the baseline up front: run_bench() rewrites BENCH_fanout.json,
+    # and the committed copy is the usual --check-against target.
+    baseline = (
+        json.loads(Path(args.check_against).read_text()) if args.check_against else None
+    )
+
+    payload = run_bench()
+    print(json.dumps(payload, indent=2))
+    ok = True
+    for problem in _acceptance(payload):
+        ok = False
+        print(f"FAIL: {problem}")
+    if ok:
+        print(
+            f"PASS: serialize-once fan-out sustains {payload['speedup_64']}x "
+            f"legacy publish throughput at 64 watchers "
+            f"(need >= {MIN_FANOUT_SPEEDUP}x), encode calls flat across "
+            f"watcher counts, delta reassembly bit-identical"
+        )
+    if baseline is not None:
+        guard_ok, message = check_against(payload, baseline)
+        print(message)
+        ok = ok and guard_ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,14 @@ someone writes new code:
   (:mod:`repro.analysis.concurrency`) checks. ``TickBus`` itself — the
   class that *creates* the sampling lock — is exempt. Sanctioned
   exceptions carry ``# noqa: R006`` with a justification comment.
+* **R007** — no ``json.dumps`` / ``encode`` / ``write_message`` call inside
+  a loop of a ``repro.server`` module. The fan-out pipeline serializes each
+  snapshot exactly once at publish time (``server/wire.py``) and watch
+  loops ship pre-encoded frames via ``protocol.write_frame``; an encode in
+  a per-subscriber/per-watcher loop silently reinstates the
+  O(watchers × steps) serialization wall. ``protocol.py`` and ``wire.py``
+  (the sanctioned encode sites) are exempt; accepted O(1)-per-iteration
+  sites carry ``# noqa: R007``.
 
 A violation on a line carrying ``# noqa: R00x`` (matching code) is
 suppressed — the accepted sites stay visible and justified in the source.
@@ -88,6 +96,9 @@ RULES: dict[str, str] = {
     "batch-hook twins / fold sufficient statistics",
     "R006": "bare threading.Lock()/RLock() construction is forbidden in executor/ "
     "and core/; use the TickBus-carried sampling lock",
+    "R007": "json.dumps/encode/write_message calls are forbidden inside loops in "
+    "repro.server (except protocol.py/wire.py): snapshots are serialized once "
+    "at publish time and fanned out as pre-encoded frames",
 }
 
 #: The one module allowed to touch raw RNG constructors.
@@ -461,6 +472,58 @@ def _rule_r006(tree: ast.Module, path: str) -> list[Violation]:
     return violations
 
 
+#: The package R007 polices: the serving layer's fan-out loops.
+_R007_PKG = ("repro", "server")
+
+#: Modules allowed to encode: the wire protocol itself and the
+#: serialize-once frame encoder (the single publish-time encode point).
+_R007_EXEMPT_FILES = ("protocol.py", "wire.py")
+
+#: Call names that serialize or write a wire line; inside a loop these
+#: re-encode per iteration — the exact O(watchers x steps) wall the
+#: serialize-once pipeline removes.
+_R007_ENCODE_CALLS = ("dumps", "encode", "write_message")
+
+
+def _rule_r007(tree: ast.Module, path: str) -> list[Violation]:
+    """Serialization calls inside loops of ``repro.server`` modules.
+
+    Per-subscriber/per-watcher loops must ship pre-encoded frames
+    (``protocol.write_frame``); any ``json.dumps``/``encode``/
+    ``write_message`` lexically inside a ``for``/``while`` there
+    re-serializes per iteration. Helper functions *defined* outside a
+    loop and merely called from it are fine — the rule polices where
+    the encode happens, not the call graph. Accepted O(1)-per-iteration
+    sites (one request line per reconnect, one error reply per request)
+    carry ``# noqa: R007``.
+    """
+    if not _in_package(path, _R007_PKG):
+        return []
+    if Path(path).name in _R007_EXEMPT_FILES:
+        return []
+    flagged: set[tuple[int, str]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and _base_name(child.func) in _R007_ENCODE_CALLS
+            ):
+                flagged.add((child.lineno, _base_name(child.func) or ""))
+    return [
+        Violation(
+            "R007",
+            path,
+            line,
+            f"{name}() inside a repro.server loop re-serializes per "
+            "iteration; encode once at publish time and fan out "
+            "pre-encoded frames (protocol.write_frame)",
+        )
+        for line, name in sorted(flagged)
+    ]
+
+
 def _rule_r004(registry: _Registry) -> list[Violation]:
     """Concrete Operator subclasses missing required declarations."""
     violations: list[Violation] = []
@@ -517,6 +580,7 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
         "R003": _rule_r003,
         "R005": _rule_r005,
         "R006": _rule_r006,
+        "R007": _rule_r007,
     }
     for tree, path in modules:
         for rule_id, rule in per_module.items():
@@ -537,7 +601,7 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Codebase invariant lint (rules R001-R006)",
+        description="Codebase invariant lint (rules R001-R007)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

@@ -414,7 +414,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
         drawn_lines = frame.count("\n") + 1
 
     try:
-        for event in client.watch(args.session_id, until_idle=args.until_idle):
+        for event in client.watch(
+            args.session_id,
+            until_idle=args.until_idle,
+            delta=not args.no_delta,
+        ):
             kind = event.get("event")
             if kind == "snapshot":
                 snap = event["session"]
@@ -584,6 +588,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="exit once every session is terminal (aggregate watch only)",
     )
     w.add_argument("--plain", action="store_true", help="line-per-event output, no redraw")
+    w.add_argument(
+        "--no-delta",
+        action="store_true",
+        help="request plain full-snapshot frames instead of the delta stream",
+    )
     w.set_defaults(func=cmd_watch)
 
     c = sub.add_parser("cancel", help="cooperatively cancel a session")

@@ -44,13 +44,17 @@ __all__ = ["ProgressMonitor", "ProgressSnapshot"]
 MODES = ("once", "dne", "byte")
 
 
-@dataclass
+@dataclass(slots=True)
 class ProgressSnapshot:
     """One observation of query progress.
 
     ``degraded`` is True once any estimator has been demoted at runtime by
     the graceful-degradation guards (the query keeps running on the dne
     fallback); ``degraded_reason`` carries the most recent demotion reason.
+
+    Slotted: monitors allocate one per tick and sessions retain the full
+    history for ratio-error replay, so the per-instance ``__dict__`` is
+    pure overhead on the hottest allocation in the serving path.
     """
 
     tick: int

@@ -10,9 +10,10 @@ runs, cancellable, and streamable to any number of watchers.
   shortest-expected-remaining-work, driven by the live estimates);
 * :mod:`~repro.server.registry` / :mod:`~repro.server.events` — snapshot
   registry and pub/sub fan-out for watchers;
-* :mod:`~repro.server.protocol` / :mod:`~repro.server.service` /
-  :mod:`~repro.server.client` — a JSON-lines TCP protocol, the stdlib
-  ``socketserver`` service, and the matching client library.
+* :mod:`~repro.server.protocol` / :mod:`~repro.server.wire` /
+  :mod:`~repro.server.service` / :mod:`~repro.server.client` — a
+  JSON-lines TCP protocol, serialize-once frame + delta encoding, the
+  stdlib ``socketserver`` service, and the matching client library.
 
 See ``docs/SERVER.md`` for the architecture and protocol reference.
 """
@@ -28,18 +29,21 @@ from repro.server.session import (
     SessionState,
     TERMINAL_STATES,
 )
+from repro.server.wire import PublishedFrame, SessionStreamEncoder
 
 __all__ = [
     "AdmissionError",
     "EventBus",
     "ProgressClient",
     "ProgressService",
+    "PublishedFrame",
     "QuerySession",
     "Scheduler",
     "ServiceError",
     "SessionRegistry",
     "SessionSnapshot",
     "SessionState",
+    "SessionStreamEncoder",
     "Subscription",
     "TERMINAL_STATES",
     "WorkloadView",

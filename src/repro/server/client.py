@@ -27,6 +27,7 @@ import time
 from typing import Iterator
 
 from repro.server.protocol import ProtocolError, decode, encode, read_message
+from repro.server.wire import apply_delta
 
 __all__ = ["ProgressClient", "ServiceError"]
 
@@ -161,12 +162,23 @@ class ProgressClient:
         max_reconnects: int = 5,
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
+        delta: bool = True,
     ) -> Iterator[dict]:
         """Stream watch events until the server ends the stream.
 
         Yields every event line including the final ``end`` event. Closing
         the generator closes the connection, which detaches the server-side
         subscription.
+
+        By default the client asks for a *delta* stream: the server sends
+        each session a periodic full keyframe and, in between, compact
+        ``delta`` frames holding only the changed fields. Reassembly is
+        transparent — callers always see full ``snapshot`` events,
+        bit-identical to a ``delta=False`` stream. A delta that cannot be
+        applied (base state lost) forces a reconnect, which resyncs via a
+        fresh keyframe. ``delta=False`` requests plain full snapshots
+        (compatibility with pre-delta servers, which simply ignore the
+        flag either way).
 
         A stream that dies *without* an ``end`` event (reset, truncated
         frame, EOF) is re-attached with bounded exponential backoff, up to
@@ -179,8 +191,13 @@ class ProgressClient:
         """
         last_seq = since
         failures = 0
+        # Per-session reassembly bases: the last full snapshot dict seen for
+        # each session, which the next delta frame merges onto.
+        bases: dict[str, dict] = {}
         while True:
             request: dict = {"op": "watch", "until_idle": until_idle}
+            if delta:
+                request["delta"] = True
             if session_id is not None:
                 request["session_id"] = session_id
                 if last_seq is not None:
@@ -197,7 +214,7 @@ class ProgressClient:
                 time.sleep(_backoff_s(failures, backoff_s, max_backoff_s))
                 continue
             try:
-                conn.sendall(encode(request))
+                conn.sendall(encode(request))  # noqa: R007 - once per (re)connect
                 with conn.makefile("rb") as stream:
                     while True:
                         line = stream.readline()
@@ -212,11 +229,27 @@ class ProgressClient:
                                 # truncated it in flight. Re-send, don't die.
                                 break
                             _raise_if_error(event)  # a real verdict: no retry
-                        if event.get("event") == "snapshot" and session_id is not None:
-                            seq = int(event.get("session", {}).get("seq", 0))
-                            if last_seq is not None and seq <= last_seq:
-                                continue  # duplicate across a reconnect seam
-                            last_seq = seq
+                        if event.get("event") == "delta":
+                            sid = str(event.get("session_id", ""))
+                            base = bases.get(sid)
+                            try:
+                                if base is None:
+                                    raise ValueError(f"no base snapshot for {sid}")
+                                merged = apply_delta(base, event)
+                            except (ValueError, KeyError, TypeError):
+                                # Base state lost (shouldn't happen on a
+                                # healthy stream): resync via a keyframe on
+                                # a fresh connection instead of guessing.
+                                break
+                            event = {"event": "snapshot", "session": merged}
+                        if event.get("event") == "snapshot":
+                            wire = event.get("session", {})
+                            bases[str(wire.get("session_id", ""))] = wire
+                            if session_id is not None:
+                                seq = int(wire.get("seq", 0))
+                                if last_seq is not None and seq <= last_seq:
+                                    continue  # duplicate across a reconnect seam
+                                last_seq = seq
                         failures = 0  # the stream is demonstrably alive
                         yield event
                         if event.get("event") == "end":

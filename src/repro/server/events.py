@@ -5,10 +5,17 @@ watchers (``watch`` connections, dashboards, tests) each get their own
 bounded mailbox. Design constraints, in order:
 
 * **publishers never block** — a slow or stalled watcher must not be able
-  to hold up a scheduler worker, so mailboxes are bounded deques that drop
-  their *oldest* event on overflow (progress events are snapshots; the
-  latest one supersedes the rest, so dropping old ones loses nothing a
-  watcher can act on). ``Subscription.dropped`` counts the losses.
+  to hold up a scheduler worker, so mailboxes are bounded. On overflow
+  the mailbox first *conflates*: progress snapshots are cumulative, so
+  the oldest queued event that a newer same-session event supersedes is
+  evicted (``Subscription.conflated`` counts these — bounded staleness,
+  the watcher still sees a strictly increasing per-session seq with the
+  latest state). Only when nothing is superseded — every queued event is
+  the newest of its session, or has no session at all — does the mailbox
+  fall back to dropping its oldest event (``Subscription.dropped``).
+  The conflation-aware policy also closes the resume-cursor gap of plain
+  drop-oldest: a watcher can no longer observe a stale frame whose newer
+  replacement was the one dropped.
 * **detach is first-class** — a watcher whose connection dies unsubscribes
   and is immediately forgotten; the bus holds no reference afterwards
   (the event-layer twin of :meth:`TickBus.unsubscribe`).
@@ -20,10 +27,29 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import Any
 
-from repro.common.locks import acquires
+from repro.common.locks import acquires, guarded_by
 
-__all__ = ["EventBus", "Subscription"]
+__all__ = ["EventBus", "Subscription", "conflation_key"]
+
+
+def conflation_key(event: Any) -> str | None:
+    """The session identity an event can be conflated on, if any.
+
+    Pre-encoded published frames carry ``session_id`` as an attribute;
+    legacy snapshot dicts nest it under ``session``. Events without a
+    session identity (workload aggregates, arbitrary test dicts) return
+    ``None`` and are never conflated — they keep plain drop-oldest.
+    """
+    key = getattr(event, "session_id", None)
+    if key is not None:
+        return key
+    if isinstance(event, dict):
+        session = event.get("session")
+        if isinstance(session, dict):
+            return session.get("session_id")
+    return None
 
 
 class Subscription:
@@ -34,29 +60,62 @@ class Subscription:
     down) and the mailbox has drained.
     """
 
-    # The mailbox and drop counter live under the condition's lock;
+    # The mailbox and overflow counters live under the condition's lock;
     # ``_closed`` is a write-guarded latch (bool swap) that ``closed`` may
     # read lock-free — it only ever goes False -> True, and a stale False
     # just means one extra get() round-trip.
-    _guarded_by_ = {"_events": "_cond", "dropped": "_cond"}
+    _guarded_by_ = {
+        "_events": "_cond",
+        "dropped": "_cond",
+        "conflated": "_cond",
+    }
     _write_guarded_by_ = {"_closed": "_cond"}
 
     def __init__(self, bus: "EventBus", maxlen: int):
         self._bus = bus
         self._cond = threading.Condition()
-        self._events: deque[dict] = deque(maxlen=maxlen)
+        self._events: deque[Any] = deque(maxlen=maxlen)
         self._closed = False
         self.dropped = 0
+        self.conflated = 0
 
     @acquires("_cond")
-    def _push(self, event: dict) -> None:
+    def _push(self, event: Any) -> None:
         with self._cond:
             if self._closed:
                 return
             if len(self._events) == self._events.maxlen:
-                self.dropped += 1
+                if not self._conflate(conflation_key(event)):
+                    self.dropped += 1
             self._events.append(event)
             self._cond.notify()
+
+    @guarded_by("_cond")
+    def _conflate(self, incoming_key: str | None) -> bool:
+        """Evict the oldest queued event superseded by a newer one.
+
+        Called under ``_cond`` when the mailbox is full. An event is
+        superseded when a newer event for the same session sits behind it
+        in the queue (or is the incoming event itself) — progress
+        snapshots are cumulative, so the newer frame carries everything
+        the older one did. Returns True when a victim was evicted (the
+        append then fits without loss); False means nothing is
+        superseded and the caller falls back to drop-oldest.
+        """
+        last_index: dict[str, int] = {}
+        for i, queued in enumerate(self._events):
+            key = conflation_key(queued)
+            if key is not None:
+                last_index[key] = i
+        for i, queued in enumerate(self._events):
+            key = conflation_key(queued)
+            if key is None:
+                continue
+            if last_index[key] > i or key == incoming_key:
+                del self._events[i]
+                self.conflated += 1
+                return True
+        return False
 
     @acquires("_cond")
     def _mark_closed(self) -> None:
@@ -69,7 +128,7 @@ class Subscription:
         return self._closed
 
     @acquires("_cond")
-    def get(self, timeout: float | None = None) -> dict | None:
+    def get(self, timeout: float | None = None) -> Any | None:
         """Next event; ``None`` once closed and drained.
 
         Raises :class:`TimeoutError` if ``timeout`` elapses with the
@@ -136,8 +195,13 @@ class EventBus:
             self._subs = tuple(s for s in self._subs if s is not sub)
         sub._mark_closed()
 
-    def publish(self, event: dict) -> None:
-        """Deliver ``event`` to every live subscription without blocking."""
+    def publish(self, event: Any) -> None:
+        """Deliver ``event`` to every live subscription without blocking.
+
+        Events are opaque to the bus: plain dicts or pre-encoded
+        :class:`~repro.server.wire.PublishedFrame` objects — the bus
+        never encodes, it only fans references out.
+        """
         for sub in self._subs:
             sub._push(event)
 

@@ -24,6 +24,10 @@ Requests::
     {"op": "shutdown"}                       -> {"ok": true} (server then stops)
 
 Stream lines are ``{"event": "snapshot", "session": {...}}``,
+``{"event": "delta", "session_id": "...", "seq": n, "base": m,
+"changed": {...}}`` (only when the watch opted in with ``"delta": true``
+— a compact frame holding just the snapshot fields that changed since
+the full snapshot with ``seq == base``, reassembled client-side),
 ``{"event": "workload", "workload": {...}}`` and finally
 ``{"event": "end", "reason": "..."}``. Errors are
 ``{"ok": false, "error": {"code": "...", "message": "..."}}``; unknown
@@ -34,6 +38,8 @@ rather than a dropped connection.
 last snapshot ``seq`` it saw (per-session sequences are strictly
 increasing), and the server suppresses anything at or below it — so a
 stream re-attached after a network fault neither replays nor regresses.
+A resumed delta stream always restarts each session with a full
+keyframe, never a delta against state the connection has not seen.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ __all__ = [
     "error_response",
     "ok_response",
     "read_message",
+    "write_frame",
     "write_message",
 ]
 
@@ -66,9 +73,18 @@ class ProtocolError(ValueError):
     """Malformed frame: not JSON, not an object, or over the line limit."""
 
 
+# One shared compact encoder for every wire line. Building a JSONEncoder
+# per call (what ``json.dumps`` with non-default options does) costs an
+# allocation + option validation on the hottest path in the repo; a single
+# configured instance is reused process-wide (encode() is pure).
+_ENCODER = json.JSONEncoder(
+    ensure_ascii=False, separators=(",", ":"), default=str
+)
+
+
 def encode(message: dict) -> bytes:
     """One wire frame: compact JSON + newline."""
-    return json.dumps(message, separators=(",", ":"), default=str).encode() + b"\n"
+    return _ENCODER.encode(message).encode() + b"\n"
 
 
 def decode(line: bytes | str) -> dict:
@@ -99,6 +115,17 @@ def read_message(stream: IO[bytes]) -> dict | None:
 
 def write_message(stream: IO[bytes], message: dict) -> None:
     stream.write(encode(message))
+    stream.flush()
+
+
+def write_frame(stream: IO[bytes], frame: bytes) -> None:
+    """Write one *pre-encoded* wire line (already newline-terminated).
+
+    The serialize-once fan-out path: watch streams ship frames encoded
+    exactly once at publish time, so writing to N watchers never
+    re-encodes (R007 bans per-watcher ``encode`` calls outright).
+    """
+    stream.write(frame)
     stream.flush()
 
 

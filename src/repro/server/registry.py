@@ -118,11 +118,17 @@ class SessionRegistry:
 
     def workload(self) -> WorkloadView:
         """Aggregate gnm progress over all sessions (see module docstring)."""
+        return self.workload_from(self.snapshots())
+
+    @staticmethod
+    def workload_from(snapshots: list[SessionSnapshot]) -> WorkloadView:
+        """Aggregate a given snapshot set — the registry's gnm fold made
+        reusable, so the service can aggregate over *cached* published
+        snapshots without resampling every session per request."""
         work_done = 0.0
         work_total = 0.0
         states: dict[str, int] = {}
         per_session: dict[str, float] = {}
-        snapshots = self.snapshots()
         for snap in snapshots:
             states[snap.state] = states.get(snap.state, 0) + 1
             per_session[snap.session_id] = snap.progress

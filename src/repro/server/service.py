@@ -13,6 +13,17 @@
   one daemon thread per connection, ``watch`` connections parked on their
   event subscriptions, everything else answered from published snapshots.
 
+Fan-out is serialize-once: each published snapshot is encoded to its
+wire frame(s) exactly once by a per-session
+:class:`~repro.server.wire.SessionStreamEncoder`, and the bus carries
+the resulting :class:`~repro.server.wire.PublishedFrame` — watch
+streams write pre-encoded bytes (a delta frame when the watcher opted in
+and its stream is positioned exactly on the frame's base, the full
+keyframe otherwise), and ``status``/``list`` answer from the cached
+latest published snapshot instead of resampling. N watchers therefore
+cost one encode per step, not N (lint rule R007 bans per-watcher
+encodes mechanically).
+
 Server threads never drive or mutate executor state (lint rule R001
 enforces this mechanically for the whole ``repro.server`` package): the
 only threads inside operators are scheduler workers, and the only
@@ -32,6 +43,7 @@ from repro.faults.plan import (
     InjectedFault,
     plan_from_env,
 )
+from repro.common.locks import acquires
 from repro.server.events import EventBus, Subscription
 from repro.server.protocol import (
     OPS,
@@ -39,11 +51,13 @@ from repro.server.protocol import (
     error_response,
     ok_response,
     read_message,
+    write_frame,
     write_message,
 )
-from repro.server.registry import SessionRegistry
+from repro.server.registry import SessionRegistry, WorkloadView
 from repro.server.scheduler import AdmissionError, Scheduler
 from repro.server.session import QuerySession, SessionSnapshot
+from repro.server.wire import PublishedFrame, SessionStreamEncoder
 from repro.storage.catalog import Catalog
 
 __all__ = ["ProgressService"]
@@ -55,6 +69,13 @@ _WATCH_POLL_S = 0.25
 
 class ProgressService:
     """A multi-session query-progress service over one catalog."""
+
+    # The encoder table is the only service-level mutable state beyond the
+    # composed subsystems (each of which guards its own): every access to
+    # it goes through ``_enc_lock``. Encoder *contents* have their own
+    # internal lock, so holding ``_enc_lock`` never nests into frame
+    # encoding.
+    _guarded_by_ = {"_encoders": "_enc_lock"}
 
     def __init__(
         self,
@@ -98,6 +119,8 @@ class ProgressService:
         self.parallel_backend = parallel_backend
         self.registry = SessionRegistry()
         self.events = EventBus()
+        self._enc_lock = threading.Lock()
+        self._encoders: dict[str, SessionStreamEncoder] = {}
         self.scheduler = Scheduler(
             workers=workers,
             policy=policy,
@@ -165,12 +188,18 @@ class ProgressService:
                 faults=self.faults,
                 retry_budget=self.retry_budget,
             )
+        # The frame encoder must exist before the listener can fire: the
+        # first published snapshot already goes through it.
+        with self._enc_lock:
+            self._encoders[session.session_id] = SessionStreamEncoder()
         session.add_listener(self._on_session_event)
         self.registry.add(session)
         try:
             self.scheduler.submit(session)
         except AdmissionError:
             self.registry.remove(session.session_id)
+            with self._enc_lock:
+                self._encoders.pop(session.session_id, None)
             raise
         return session
 
@@ -181,8 +210,51 @@ class ProgressService:
         session.cancel(reason)
         return True
 
-    def _on_session_event(self, _session: QuerySession, snap: SessionSnapshot) -> None:
-        self.events.publish({"event": "snapshot", "session": snap.to_wire()})
+    @acquires("_enc_lock")
+    def _encoder_for(self, session_id: str) -> SessionStreamEncoder:
+        with self._enc_lock:
+            encoder = self._encoders.get(session_id)
+            if encoder is None:
+                # Sessions registered outside submit_sql (tests, embedders)
+                # still get serialize-once frames.
+                encoder = self._encoders[session_id] = SessionStreamEncoder()
+            return encoder
+
+    def _on_session_event(self, session: QuerySession, snap: SessionSnapshot) -> None:
+        # The one encode point of the fan-out path: the executing worker
+        # turns its snapshot into a pre-encoded frame, and every watcher
+        # downstream only ever copies bytes.
+        frame = self._encoder_for(session.session_id).encode(snap)
+        self.events.publish(frame)
+
+    def _cached_snapshot(self, session: QuerySession) -> SessionSnapshot:
+        """The session's latest *published* snapshot — no resampling.
+
+        Falls back to a fresh snapshot only for sessions that have never
+        published (still pending admission/first step), where there is no
+        cached state to serve.
+        """
+        snap = self._encoder_for(session.session_id).latest
+        return snap if snap is not None else session.snapshot()
+
+    def _cached_snapshots(self) -> list[SessionSnapshot]:
+        return [self._cached_snapshot(s) for s in self.registry.sessions()]
+
+    def _workload_view(self) -> WorkloadView:
+        return SessionRegistry.workload_from(self._cached_snapshots())
+
+    def _prime_frame(self, session: QuerySession) -> PublishedFrame:
+        """The pre-encoded frame a fresh watch primes its stream with.
+
+        For a session that has never published, one snapshot is taken and
+        pushed through the session's encoder — a once-per-connection cost
+        that also seeds the delta chain's first keyframe.
+        """
+        encoder = self._encoder_for(session.session_id)
+        frame = encoder.latest_frame
+        if frame is None:
+            frame = encoder.encode(session.snapshot())
+        return frame
 
     # -- TCP lifecycle ------------------------------------------------------------
 
@@ -281,21 +353,28 @@ class ProgressService:
         except AdmissionError as exc:
             write_message(wfile, error_response("admission", str(exc)))
             return True
-        write_message(wfile, ok_response(session=session.snapshot().to_wire()))
+        write_message(
+            wfile, ok_response(session=self._cached_snapshot(session).to_wire())
+        )
         return True
 
     def _op_status(self, request: dict, wfile) -> bool:
         session = self._session_or_error(request, wfile)
         if session is not None:
-            write_message(wfile, ok_response(session=session.snapshot().to_wire()))
+            write_message(
+                wfile, ok_response(session=self._cached_snapshot(session).to_wire())
+            )
         return True
 
     def _op_list(self, request: dict, wfile) -> bool:
+        # Served entirely from cached published snapshots: a list request
+        # never samples live sessions, whatever the request rate.
+        snapshots = self._cached_snapshots()
         write_message(
             wfile,
             ok_response(
-                sessions=[snap.to_wire() for snap in self.registry.snapshots()],
-                workload=self.registry.workload().to_wire(),
+                sessions=[snap.to_wire() for snap in snapshots],
+                workload=SessionRegistry.workload_from(snapshots).to_wire(),
             ),
         )
         return True
@@ -304,7 +383,9 @@ class ProgressService:
         session = self._session_or_error(request, wfile)
         if session is not None:
             session.cancel(str(request.get("reason") or "cancelled by client"))
-            write_message(wfile, ok_response(session=session.snapshot().to_wire()))
+            write_message(
+                wfile, ok_response(session=self._cached_snapshot(session).to_wire())
+            )
         return True
 
     def _op_fetch(self, request: dict, wfile) -> bool:
@@ -333,6 +414,7 @@ class ProgressService:
     def _op_watch(self, request: dict, wfile) -> bool:
         session_id = request.get("session_id")
         until_idle = bool(request.get("until_idle"))
+        use_delta = bool(request.get("delta"))
         since = request.get("since")
         if since is not None:
             try:
@@ -359,7 +441,9 @@ class ProgressService:
             return True
         subscription = self.events.subscribe()
         try:
-            self._stream_watch(subscription, session_id, until_idle, wfile, since)
+            self._stream_watch(
+                subscription, session_id, until_idle, wfile, since, use_delta
+            )
         finally:
             # Detach whether the stream ended or the client dropped —
             # otherwise every dead watcher would keep receiving forever.
@@ -373,29 +457,49 @@ class ProgressService:
         until_idle: bool,
         wfile,
         since: int | None = None,
+        use_delta: bool = False,
     ) -> None:
-        # Per-session high-water snapshot sequence: events queued before the
-        # priming snapshot was taken are stale and must not be re-emitted
+        # Per-session high-water snapshot sequence: frames queued before the
+        # priming frame was emitted are stale and must not be re-emitted
         # after it (they would make the stream regress). ``since`` seeds the
         # mark from a reconnecting client's last seen seq, so a resumed
-        # watch never replays or regresses past what the client already has
-        # (the priming snapshot below always carries a fresh, higher seq).
+        # watch never replays or regresses past what the client already has.
+        #
+        # ``keyframed`` tracks which sessions *this connection* has shipped
+        # a full snapshot for: a delta frame is only ever written on top of
+        # a full frame the same connection already delivered, so the first
+        # frame per session — including the first after a ``since`` resume —
+        # is always a keyframe, never a delta against unseen state.
         last_seq: dict[str, int] = {}
+        keyframed: set[str] = set()
         if since is not None and session_id is not None:
             last_seq[session_id] = since
 
-        def emit_session(wire: dict) -> bool:
-            sid = wire.get("session_id", "")
-            seq = int(wire.get("seq", 0))
-            if seq <= last_seq.get(sid, -1):
+        def emit_frame(frame: PublishedFrame) -> bool:
+            sid = frame.session_id
+            if frame.seq <= last_seq.get(sid, -1):
                 return False
-            last_seq[sid] = seq
-            write_message(wfile, {"event": "snapshot", "session": wire})
+            if (
+                use_delta
+                and frame.delta is not None
+                and sid in keyframed
+                and frame.base == last_seq.get(sid)
+            ):
+                payload = frame.delta
+            else:
+                payload = frame.full
+                keyframed.add(sid)
+            last_seq[sid] = frame.seq
+            write_frame(wfile, payload)
             return True
 
         def emit_workload() -> None:
+            # O(state transitions), not O(steps): workload lines only ride
+            # along on priming and terminal events, built from cached
+            # published snapshots.
             write_message(
-                wfile, {"event": "workload", "workload": self.registry.workload().to_wire()}
+                wfile,
+                {"event": "workload", "workload": self._workload_view().to_wire()},
             )
 
         def end(reason: str) -> None:
@@ -404,16 +508,16 @@ class ProgressService:
         # Prime the stream with current state so watchers render instantly.
         if session_id is not None:
             session = self.registry.get(session_id)
-            snap = session.snapshot()
-            emit_session(snap.to_wire())
-            if session.finished:
+            frame = self._prime_frame(session)
+            emit_frame(frame)
+            if frame.terminal:
                 end("session terminal")
                 return
         else:
-            for snap in self.registry.snapshots():
-                emit_session(snap.to_wire())
+            for session in self.registry.sessions():
+                emit_frame(self._prime_frame(session))
             emit_workload()
-            if until_idle and self.registry.workload().idle:
+            if until_idle and self._workload_view().idle:
                 end("workload idle")
                 return
         while True:
@@ -427,19 +531,20 @@ class ProgressService:
             if event is None:
                 end("server shutdown")
                 return
-            wire = event.get("session", {})
+            if not isinstance(event, PublishedFrame):
+                continue  # foreign bus traffic (tests, embedders)
             if session_id is not None:
-                if wire.get("session_id") != session_id:
+                if event.session_id != session_id:
                     continue
-                emit_session(wire)
-                if wire.get("state") in ("finished", "cancelled", "failed"):
+                emit_frame(event)
+                if event.terminal:
                     end("session terminal")
                     return
             else:
-                emit_session(wire)
-                if wire.get("state") in ("finished", "cancelled", "failed"):
+                emit_frame(event)
+                if event.terminal:
                     emit_workload()
-                    if until_idle and self.registry.workload().idle:
+                    if until_idle and self._workload_view().idle:
                         end("workload idle")
                         return
 
@@ -500,7 +605,9 @@ class _ProtocolHandler(socketserver.StreamRequestHandler):
                 try:
                     request = read_message(rfile)
                 except ProtocolError as exc:
-                    write_message(
+                    # One error reply per garbled request, then the
+                    # connection drops — not a fan-out encode.
+                    write_message(  # noqa: R007
                         wfile, error_response("protocol", str(exc))
                     )
                     return

@@ -89,21 +89,32 @@ class SessionSnapshot:
     retries: int = 0
 
     def to_wire(self) -> dict:
-        return {
-            "session_id": self.session_id,
-            "name": self.name,
-            "state": self.state,
-            "seq": self.seq,
-            "progress": round(self.progress, 6),
-            "work_done": self.work_done,
-            "work_total_estimate": self.work_total_estimate,
-            "row_count": self.row_count,
-            "elapsed_s": round(self.elapsed_s, 6),
-            "error": self.error,
-            "degraded": self.degraded,
-            "degraded_reason": self.degraded_reason,
-            "retries": self.retries,
-        }
+        """The snapshot's wire dict, memoized per instance.
+
+        A snapshot is frozen and uniquely identified by its seq, so the
+        dict is built once and shared between the publish-time frame
+        encoder and ``status``/``list`` responses — callers must treat
+        it as immutable (copy before mutating).
+        """
+        cached = self.__dict__.get("_wire")
+        if cached is None:
+            cached = {
+                "session_id": self.session_id,
+                "name": self.name,
+                "state": self.state,
+                "seq": self.seq,
+                "progress": round(self.progress, 6),
+                "work_done": self.work_done,
+                "work_total_estimate": self.work_total_estimate,
+                "row_count": self.row_count,
+                "elapsed_s": round(self.elapsed_s, 6),
+                "error": self.error,
+                "degraded": self.degraded,
+                "degraded_reason": self.degraded_reason,
+                "retries": self.retries,
+            }
+            object.__setattr__(self, "_wire", cached)
+        return cached
 
 
 class QuerySession:

@@ -188,3 +188,54 @@ def test_watch_resumes_via_since_cursor(db, seed):
         assert plan.records(), "server.write fault never fired"
     finally:
         svc.shutdown()
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_delta_watch_resyncs_via_keyframe_after_write_faults(db, seed):
+    """``server.write`` faults landing mid-delta-stream force reconnects;
+    every resume must resync through a full keyframe, so the merged
+    delta-reassembled stream never duplicates or regresses a ``seq`` and
+    every yielded snapshot is complete (no fields lost to a delta applied
+    against state the client never saw)."""
+    from repro.faults import ERROR, SITE_SERVER_WRITE, FaultPlan, FaultSpec
+
+    wire_fields = {
+        "session_id", "name", "state", "seq", "progress", "work_done",
+        "work_total_estimate", "row_count", "elapsed_s", "error", "degraded",
+        "degraded_reason", "retries",
+    }
+    # Fire every ~15 written lines so faults land between keyframes
+    # (default cadence 16), i.e. while the stream is mid-delta.
+    plan = FaultPlan(
+        seed=seed,
+        specs=[FaultSpec(SITE_SERVER_WRITE, kind=ERROR, every=15, count=4)],
+    )
+    svc = ProgressService(
+        db, port=0, workers=2, quantum_rows=16, tick_interval=50, faults=plan
+    )
+    svc.start()
+    client = ProgressClient(svc.host, svc.port, timeout=30.0)
+    try:
+        long_sql = (
+            "SELECT a.orderkey, b.orderkey FROM orders a JOIN orders b"
+            " ON a.custkey = b.custkey"
+        )
+        sid = submit_with_retry(client, long_sql, name="delta-resync")["session_id"]
+        events = list(client.watch(sid, max_reconnects=12, delta=True))
+        final = client.wait(sid, timeout=120.0)
+        assert final["state"] == "finished"
+        assert events[-1]["event"] == "end"
+        snaps = [e["session"] for e in events if e["event"] == "snapshot"]
+        assert snaps, "delta watch saw no snapshots at all"
+        seqs = [s["seq"] for s in snaps]
+        assert len(seqs) == len(set(seqs)), f"duplicate seq across resync: {seqs}"
+        assert seqs == sorted(seqs), f"seq regressed across resync: {seqs}"
+        for snap in snaps:
+            assert set(snap) == wire_fields, (
+                f"incomplete reassembled snapshot at seq {snap['seq']}"
+            )
+        check_wire_stream(events, sid)
+        assert snaps[-1]["progress"] == 1.0 and snaps[-1]["state"] == "finished"
+        assert plan.records(), "server.write fault never fired mid-delta"
+    finally:
+        svc.shutdown()

@@ -1,0 +1,47 @@
+"""R007 fixture: per-subscriber serialization inside server loops.
+
+Every pattern below re-encodes one snapshot per watcher per iteration —
+the O(watchers × steps) wall the serialize-once pipeline removes.
+"""
+
+import json
+
+from repro.server.protocol import encode, write_frame, write_message
+
+
+def broadcast(watchers, snapshot):
+    for wfile in watchers:
+        write_message(wfile, {"event": "snapshot", "session": snapshot})
+
+
+def broadcast_bytes(watchers, snapshot):
+    for wfile in watchers:
+        wfile.write(json.dumps(snapshot).encode() + b"\n")
+
+
+def stream(subscription, wfile):
+    while True:
+        event = subscription.get()
+        if event is None:
+            return
+        wfile.write(encode(event))
+
+
+def nested_helper(watchers, snapshot):
+    # A def *inside* the loop body still encodes per iteration when called.
+    for wfile in watchers:
+        def send():
+            write_message(wfile, snapshot)
+        send()
+
+
+def good_broadcast(watchers, frame):
+    # The sanctioned shape: pre-encoded bytes, no serialization in the loop.
+    for wfile in watchers:
+        write_frame(wfile, frame)
+
+
+def accepted_site(conn, request):
+    while True:
+        conn.sendall(encode(request))  # noqa: R007 - once per reconnect
+        break

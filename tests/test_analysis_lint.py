@@ -105,7 +105,9 @@ class TestEngine:
         assert ": R003 " in rendered
 
     def test_rules_registry_documents_every_rule(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert set(RULES) == {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        }
 
 
 class TestR006BareLocks:
@@ -212,6 +214,73 @@ class TestR001ServerExtension:
     def test_shipped_server_package_is_clean(self):
         server_pkg = REPO / "src" / "repro" / "server"
         assert lint_paths([str(server_pkg)], rules={"R001"}) == []
+
+class TestR007SerializeOnce:
+    """No serialization calls inside loops of ``repro.server`` modules."""
+
+    FIXTURE = FIXTURES / "repro" / "server" / "bad_encode_loop.py"
+
+    def test_fixture_loops_flagged(self):
+        violations = lint_paths([str(self.FIXTURE)], rules={"R007"})
+        assert rules_of(violations) == {"R007"}
+        # broadcast (write_message), broadcast_bytes (dumps + .encode()),
+        # stream (encode), nested_helper (write_message in a def inside the
+        # loop). write_frame and the noqa'd reconnect send stay clean.
+        assert len(violations) == 5
+        flagged = {v.message.split("(")[0] for v in violations}
+        assert flagged == {"write_message", "dumps", "encode"}
+
+    def test_same_code_outside_server_package_is_clean(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "fine_encode.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import json\n"
+            "def broadcast(watchers, snap):\n"
+            "    for w in watchers:\n"
+            "        w.write(json.dumps(snap))\n"
+        )
+        assert lint_paths([str(target)], rules={"R007"}) == []
+
+    def test_protocol_and_wire_modules_are_exempt(self, tmp_path):
+        source = (
+            "import json\n"
+            "def pump(messages, out):\n"
+            "    for m in messages:\n"
+            "        out.write(json.dumps(m))\n"
+        )
+        for exempt in ("protocol.py", "wire.py"):
+            target = tmp_path / "repro" / "server" / exempt
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source)
+            assert lint_paths([str(target)], rules={"R007"}) == []
+
+    def test_encode_outside_any_loop_is_clean(self, tmp_path):
+        target = tmp_path / "repro" / "server" / "oneshot.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "from repro.server.protocol import encode\n"
+            "def reply(wfile, message):\n"
+            "    wfile.write(encode(message))\n"
+        )
+        assert lint_paths([str(target)], rules={"R007"}) == []
+
+    def test_noqa_suppresses_accepted_site(self, tmp_path):
+        target = tmp_path / "repro" / "server" / "resend.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "from repro.server.protocol import encode\n"
+            "def resend(conn, request):\n"
+            "    while True:\n"
+            "        conn.sendall(encode(request))  # noqa: R007\n"
+            "        break\n"
+        )
+        assert lint_paths([str(target)], rules={"R007"}) == []
+
+    def test_shipped_server_package_is_clean(self):
+        server_pkg = REPO / "src" / "repro" / "server"
+        violations = lint_paths([str(server_pkg)], rules={"R007"})
+        assert violations == [], "\n".join(v.render() for v in violations)
+
 
 class TestCoordinatorPackageExtension:
     """The stricter R001/R005 forms extend to ``repro/parallel/``: the
