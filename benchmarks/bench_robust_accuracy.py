@@ -1,0 +1,299 @@
+"""Ensemble progress-accuracy benchmark (robust estimation guard).
+
+Runs a small workload of join / filter / aggregate queries over skewed
+(Zipf) data twice against one run-history store:
+
+* **cold** — empty history: the ensemble opens with uniform weights and
+  must learn the candidates' relative accuracy online;
+* **warm** — the cold run's recorded per-estimator error trajectories
+  seed the opening weights (inverse historical MSE).
+
+For every run the bench scores, per progress checkpoint, the ensemble's
+combined progress and each single candidate's progress (``d/T_i`` over
+the identical shared counters) against hindsight truth (``d`` over the
+now-known true total), and reports the mean absolute error of each.
+
+Acceptance (enforced standalone and in CI):
+
+* warm-history ensemble MAE <= the best single estimator's MAE
+  (workload aggregate, small noise slack);
+* cold-start ensemble MAE <= 1.1x the best single estimator's MAE;
+* the warm run actually warm-started (``prior_source == "warm"``).
+
+CI re-runs the bench against the committed baseline and fails if the
+warm ensemble MAE degrades more than 25% over it::
+
+    python benchmarks/bench_robust_accuracy.py --check-against \
+        benchmarks/results/BENCH_robust.json
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_robust_accuracy.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.progress import ProgressMonitor
+from repro.datagen.skew import customer_variant
+from repro.executor.engine import ExecutionEngine, TickBus
+from repro.executor.expressions import col, lit
+from repro.executor.operators import (
+    AggregateSpec,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    Project,
+    SeqScan,
+)
+from repro.robust import HistoryStore
+from repro.robust.feedback import record_run
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_robust.json"
+
+TICK = 16
+
+#: Acceptance bounds (workload-aggregate MAE, progress units).
+COLD_FACTOR = 1.1  # cold ensemble <= 1.1x best single
+WARM_SLACK = 1e-6  # warm ensemble <= best single (+ float noise)
+#: CI guard: warm MAE may degrade at most 25% over the committed baseline.
+GUARD_FACTOR = 1.25
+GUARD_SLACK = 0.002
+
+
+def _tables():
+    c1 = customer_variant(z=1.2, domain_size=20, variant=0, num_rows=900, name="c1")
+    c2 = customer_variant(z=0.8, domain_size=20, variant=1, num_rows=700, name="c2")
+    c3 = customer_variant(z=0.3, domain_size=30, variant=2, num_rows=800, name="c3")
+    return c1, c2, c3
+
+
+def _q_join_fanout():
+    """Skewed self-ish join: the ONCE estimator shines, DNE/byte lag."""
+    c1, c2, _ = _tables()
+    return HashJoin(SeqScan(c1), SeqScan(c2), "c1.nationkey", "c2.nationkey")
+
+
+def _q_filter_project():
+    """Streaming filter: every candidate is decent, byte wins early."""
+    _, _, c3 = _tables()
+    return Project(
+        Filter(SeqScan(c3), col("c3.nationkey") < lit(12)),
+        ["c3.custkey", "c3.name"],
+    )
+
+
+def _q_join_filter():
+    """Join under a selective filter — mid-run refinements matter."""
+    c1, c2, _ = _tables()
+    return HashJoin(
+        Filter(SeqScan(c1), col("c1.nationkey") < lit(8)),
+        SeqScan(c2),
+        "c1.nationkey",
+        "c2.nationkey",
+    )
+
+
+def _q_aggregate():
+    """Blocking aggregate over a skewed group column."""
+    c1, _, _ = _tables()
+    return HashAggregate(
+        SeqScan(c1),
+        ["c1.nationkey"],
+        [AggregateSpec("count", alias="n"), AggregateSpec("sum", "c1.custkey", alias="s")],
+    )
+
+
+QUERIES = [
+    ("join_fanout", _q_join_fanout),
+    ("filter_project", _q_filter_project),
+    ("join_filter", _q_join_filter),
+    ("aggregate", _q_aggregate),
+]
+
+
+def _clamp_progress(done: float, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    return min(done / total, 1.0)
+
+
+def _run_query(build, store: HistoryStore) -> dict:
+    """One monitored run; returns per-candidate and ensemble MAEs."""
+    plan = build()
+    bus = TickBus(interval=TICK)
+    monitor = ProgressMonitor(
+        plan, mode="once", bus=bus, record_every=TICK, history=store
+    )
+    result = ExecutionEngine(plan, bus=bus, collect_rows=False).run()
+    true_total = monitor.true_total()
+    ens = monitor.ensemble
+    assert ens is not None, "history-enabled monitor must build an ensemble"
+    with monitor._lock:
+        checkpoints = [(s.work_done, s.ensemble) for s in monitor.snapshots]
+    # The ensemble trajectory is 1:1 with recorded snapshots (both are
+    # appended by the same _snapshot_locked pass).
+    trajectory = ens.trajectory
+    assert len(trajectory) == len(checkpoints)
+    ens_errs: list[float] = []
+    cand_errs: dict[str, list[float]] = {name: [] for name in ens.candidates}
+    for (done, combined), (done2, totals) in zip(checkpoints, trajectory):
+        assert done == done2
+        actual = _clamp_progress(done, true_total)
+        ens_errs.append(abs((combined or 0.0) - actual))
+        for name in ens.candidates:
+            cand_errs[name].append(
+                abs(_clamp_progress(done, totals.get(name, 0.0)) - actual)
+            )
+    record_run(monitor, store, 0.0, result.row_count)
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+    singles = {name: mean(errs) for name, errs in cand_errs.items()}
+    return {
+        "checkpoints": len(checkpoints),
+        "prior_source": ens.prior_source,
+        "ensemble_mae": mean(ens_errs),
+        "single_mae": singles,
+        "best_single": min(singles, key=singles.get),
+        "best_single_mae": min(singles.values()),
+    }
+
+
+def run_bench() -> dict:
+    queries = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = HistoryStore(Path(tmp) / "bench-history.jsonl")
+        for name, build in QUERIES:
+            cold = _run_query(build, store)
+            warm = _run_query(build, store)
+            assert cold["prior_source"] == "cold", name
+            assert warm["prior_source"] == "warm", name
+            queries.append(
+                {
+                    "query": name,
+                    "checkpoints": cold["checkpoints"],
+                    "single_mae": {
+                        k: round(v, 5) for k, v in cold["single_mae"].items()
+                    },
+                    "best_single": cold["best_single"],
+                    "best_single_mae": round(cold["best_single_mae"], 5),
+                    "cold_ensemble_mae": round(cold["ensemble_mae"], 5),
+                    "warm_ensemble_mae": round(warm["ensemble_mae"], 5),
+                }
+            )
+    agg = {
+        "best_single_mae": sum(q["best_single_mae"] for q in queries) / len(queries),
+        "cold_ensemble_mae": sum(q["cold_ensemble_mae"] for q in queries) / len(queries),
+        "warm_ensemble_mae": sum(q["warm_ensemble_mae"] for q in queries) / len(queries),
+    }
+    payload = {
+        "benchmark": "robust_accuracy",
+        "tick_interval": TICK,
+        "queries": queries,
+        "aggregate": {k: round(v, 5) for k, v in agg.items()},
+        "cold_factor_limit": COLD_FACTOR,
+        "cold_factor": round(
+            agg["cold_ensemble_mae"] / max(agg["best_single_mae"], 1e-12), 3
+        ),
+        "warm_beats_best_single": bool(
+            agg["warm_ensemble_mae"] <= agg["best_single_mae"] + WARM_SLACK
+        ),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _acceptance(payload: dict) -> list[str]:
+    problems = []
+    agg = payload["aggregate"]
+    if not payload["warm_beats_best_single"]:
+        problems.append(
+            f"warm ensemble MAE {agg['warm_ensemble_mae']} > best single "
+            f"estimator MAE {agg['best_single_mae']}"
+        )
+    if payload["cold_factor"] > COLD_FACTOR:
+        problems.append(
+            f"cold ensemble MAE is {payload['cold_factor']}x the best single "
+            f"estimator (limit {COLD_FACTOR}x)"
+        )
+    return problems
+
+
+def check_against(payload: dict, baseline: dict) -> tuple[bool, str]:
+    """Accuracy guard: the fresh warm-ensemble MAE must not degrade more
+    than 25% (plus absolute slack) over the committed baseline."""
+    base = baseline["aggregate"]["warm_ensemble_mae"]
+    fresh = payload["aggregate"]["warm_ensemble_mae"]
+    allowed = base * GUARD_FACTOR + GUARD_SLACK
+    ok = fresh <= allowed
+    verdict = "PASS" if ok else "FAIL"
+    return ok, (
+        f"{verdict}: warm ensemble MAE {round(fresh, 5)} "
+        f"(baseline {round(base, 5)}, allowed <= {round(allowed, 5)})"
+    )
+
+
+def test_robust_accuracy(report):
+    payload = run_bench()
+    report.table(
+        ["query", "best single", "best MAE", "cold MAE", "warm MAE"],
+        [
+            [
+                q["query"],
+                q["best_single"],
+                q["best_single_mae"],
+                q["cold_ensemble_mae"],
+                q["warm_ensemble_mae"],
+            ]
+            for q in payload["queries"]
+        ],
+        widths=[16, 12, 10, 10, 10],
+    )
+    agg = payload["aggregate"]
+    report.line(
+        f"aggregate: best-single {agg['best_single_mae']} | "
+        f"cold {agg['cold_ensemble_mae']} | warm {agg['warm_ensemble_mae']}"
+    )
+    report.line(f"json: {RESULTS_PATH}")
+    assert _acceptance(payload) == [], payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-against",
+        metavar="BASELINE_JSON",
+        help="compare the fresh warm-ensemble MAE against a committed "
+        "baseline and exit non-zero on regression",
+    )
+    args = parser.parse_args(argv)
+    baseline = (
+        json.loads(Path(args.check_against).read_text()) if args.check_against else None
+    )
+
+    payload = run_bench()
+    print(json.dumps(payload, indent=2))
+    ok = True
+    for problem in _acceptance(payload):
+        ok = False
+        print(f"FAIL: {problem}")
+    if ok:
+        agg = payload["aggregate"]
+        print(
+            f"PASS: warm ensemble MAE {agg['warm_ensemble_mae']} <= best "
+            f"single {agg['best_single_mae']}; cold factor "
+            f"{payload['cold_factor']}x (limit {COLD_FACTOR}x)"
+        )
+    if baseline is not None:
+        guard_ok, message = check_against(payload, baseline)
+        print(message)
+        ok = ok and guard_ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,13 @@ someone writes new code:
   O(watchers × steps) serialization wall. ``protocol.py`` and ``wire.py``
   (the sanctioned encode sites) are exempt; accepted O(1)-per-iteration
   sites carry ``# noqa: R007``.
+* **R008** — no raw file I/O (``open`` / ``Path.read_text`` /
+  ``write_text`` / ``read_bytes`` / ``write_bytes``) inside
+  ``repro/robust/`` outside ``store.py``. The run-history file is
+  append-only JSONL with torn-tail recovery and fault-site probes;
+  ``HistoryStore`` is the single sanctioned access path — a side-channel
+  read skips the crash tolerance, a side-channel write corrupts the
+  record framing the recovery logic depends on.
 
 A violation on a line carrying ``# noqa: R00x`` (matching code) is
 suppressed — the accepted sites stay visible and justified in the source.
@@ -99,6 +106,9 @@ RULES: dict[str, str] = {
     "R007": "json.dumps/encode/write_message calls are forbidden inside loops in "
     "repro.server (except protocol.py/wire.py): snapshots are serialized once "
     "at publish time and fanned out as pre-encoded frames",
+    "R008": "raw file I/O (open/read_text/write_text/read_bytes/write_bytes) is "
+    "forbidden in repro.robust outside store.py; all history-file access goes "
+    "through HistoryStore",
 }
 
 #: The one module allowed to touch raw RNG constructors.
@@ -524,6 +534,45 @@ def _rule_r007(tree: ast.Module, path: str) -> list[Violation]:
     ]
 
 
+#: The package R008 polices: everything around the run-history store.
+_R008_PKG = ("repro", "robust")
+
+#: The single module allowed to open/read/write the history file.
+_R008_EXEMPT_FILES = ("store.py",)
+
+#: Call names that reach the filesystem directly.
+_R008_IO_CALLS = ("open", "read_text", "write_text", "read_bytes", "write_bytes")
+
+
+def _rule_r008(tree: ast.Module, path: str) -> list[Violation]:
+    """Raw file I/O in ``repro.robust`` outside the sanctioned store module.
+
+    The history file's crash tolerance (torn-tail skip, flush-per-record
+    framing) and its fault-injection probes live in
+    :class:`~repro.robust.store.HistoryStore`; any other module opening the
+    file bypasses both. The rule is lexical and deliberately blunt — the
+    robust package has no business doing file I/O of any kind elsewhere.
+    """
+    if not _in_package(path, _R008_PKG):
+        return []
+    if Path(path).name in _R008_EXEMPT_FILES:
+        return []
+    flagged: set[tuple[int, str]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _base_name(node.func) in _R008_IO_CALLS:
+            flagged.add((node.lineno, _base_name(node.func) or ""))
+    return [
+        Violation(
+            "R008",
+            path,
+            line,
+            f"{name}() in repro.robust outside store.py; history-file access "
+            "must go through HistoryStore (torn-tail recovery + fault probes)",
+        )
+        for line, name in sorted(flagged)
+    ]
+
+
 def _rule_r004(registry: _Registry) -> list[Violation]:
     """Concrete Operator subclasses missing required declarations."""
     violations: list[Violation] = []
@@ -581,6 +630,7 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
         "R005": _rule_r005,
         "R006": _rule_r006,
         "R007": _rule_r007,
+        "R008": _rule_r008,
     }
     for tree, path in modules:
         for rule_id, rule in per_module.items():
@@ -601,7 +651,7 @@ def lint_paths(paths: list[str], rules: set[str] | None = None) -> list[Violatio
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Codebase invariant lint (rules R001-R007)",
+        description="Codebase invariant lint (rules R001-R008)",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     parser.add_argument(

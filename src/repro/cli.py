@@ -299,6 +299,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout,
         faults=faults,
         max_parallel=args.max_parallel,
+        history_path=args.history,
     )
     host, port = service.start()
     print(
@@ -306,6 +307,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"({args.workers} workers, policy={args.policy})",
         file=sys.stderr,
     )
+    if service.history is not None:
+        print(
+            f"run history at {args.history} "
+            f"({len(service.history)} prior runs"
+            + (
+                f", {service.history.skipped()} torn records skipped"
+                if service.history.skipped()
+                else ""
+            )
+            + ")",
+            file=sys.stderr,
+        )
     if service.faults is not None:
         sites = sorted({spec.site for spec in service.faults.specs})
         print(
@@ -373,6 +386,57 @@ def cmd_cancel(args: argparse.Namespace) -> int:
         print(f"cancel failed — {exc}", file=sys.stderr)
         return 1
     print(f"{session['session_id']} -> {session['state']}", file=sys.stderr)
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Inspect or clear a run-history store (all access via HistoryStore)."""
+    from repro.robust import HistoryStore, aggregate_prior
+
+    store = HistoryStore(args.path)
+    if args.history_cmd == "clear":
+        n = len(store)
+        store.clear()
+        print(f"cleared {n} run(s) from {args.path}")
+        return 0
+    if store.degraded_reason is not None:
+        print(f"warning: {store.degraded_reason}", file=sys.stderr)
+    if args.history_cmd == "list":
+        records = store.records()
+        if not records:
+            print(f"no runs recorded in {args.path}")
+            return 0
+        skipped = store.skipped()
+        if skipped:
+            print(f"({skipped} torn record(s) skipped on load)", file=sys.stderr)
+        print(f"{'seq':>5}  {'fingerprint':16}  {'mode':5}  "
+              f"{'rows':>8}  {'T(Q)':>10}  {'wall_s':>8}")
+        for rec in records:
+            print(
+                f"{rec.seq:>5}  {rec.fingerprint:16}  {rec.mode:5}  "
+                f"{rec.row_count:>8}  {rec.true_total:>10.0f}  "
+                f"{rec.wall_time_s:>8.3f}"
+            )
+        return 0
+    # show <fingerprint>: every run plus the aggregated prior.
+    records = store.records_for(args.fingerprint)
+    if not records:
+        print(f"no runs for fingerprint {args.fingerprint!r} in {args.path}")
+        return 1
+    print(f"fingerprint {args.fingerprint} — {len(records)} run(s)")
+    print(f"signature: {records[-1].signature}")
+    for rec in records:
+        errs = ", ".join(
+            f"{name}={mse:.3g}" for name, mse in sorted(rec.estimator_errors.items())
+        )
+        print(
+            f"  seq {rec.seq}: mode={rec.mode} rows={rec.row_count} "
+            f"T={rec.true_total:.0f} wall={rec.wall_time_s:.3f}s "
+            f"checkpoints={rec.estimator_checkpoints} mse[{errs}]"
+        )
+    prior = aggregate_prior(args.fingerprint, records)
+    for name, ep in sorted(prior.estimators.items()):
+        print(f"  prior {name}: mse={ep.mse:.6g} (n={ep.n:.0f} checkpoints)")
     return 0
 
 
@@ -553,6 +617,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "(defaults to the REPRO_FAULTS environment variable; see docs/FAULTS.md)"
         ),
     )
+    s.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="run-history store (JSONL): seeds ensemble priors, records "
+        "finished runs and feeds observed cardinalities back to the "
+        "optimizer (see docs/ROBUST.md)",
+    )
     s.set_defaults(func=cmd_serve)
 
     sm = sub.add_parser("submit", help="submit SQL to a running service")
@@ -599,6 +671,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     add_endpoint(c)
     c.add_argument("session_id")
     c.set_defaults(func=cmd_cancel)
+
+    h = sub.add_parser("history", help="inspect or clear a run-history store")
+    hsub = h.add_subparsers(dest="history_cmd", required=True)
+    hl = hsub.add_parser("list", help="one line per recorded run")
+    hl.add_argument("--path", required=True, help="history store (JSONL)")
+    hs = hsub.add_parser(
+        "show", help="runs + aggregated estimator prior for one fingerprint"
+    )
+    hs.add_argument("fingerprint", help="canonical plan fingerprint digest")
+    hs.add_argument("--path", required=True, help="history store (JSONL)")
+    hc = hsub.add_parser("clear", help="truncate the store")
+    hc.add_argument("--path", required=True, help="history store (JSONL)")
+    h.set_defaults(func=cmd_history)
     return parser
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.locks import acquires, assert_owned, guarded_by, holds_lock
 from repro.core.byte_estimator import ByteModelEstimator
@@ -39,6 +40,9 @@ from repro.faults.plan import SITE_ESTIMATOR_HOOK, FaultPlan
 from repro.optimizer.bounds import CardinalityBounds
 from repro.storage.catalog import Catalog
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robust.store import HistoryStore
+
 __all__ = ["ProgressMonitor", "ProgressSnapshot"]
 
 MODES = ("once", "dne", "byte")
@@ -50,7 +54,14 @@ class ProgressSnapshot:
 
     ``degraded`` is True once any estimator has been demoted at runtime by
     the graceful-degradation guards (the query keeps running on the dne
-    fallback); ``degraded_reason`` carries the most recent demotion reason.
+    fallback); ``degraded_reason`` carries the most recent demotion reason
+    (or, for history-enabled monitors, the run-history store's fault).
+
+    ``ensemble``/``weights``/``prior_source`` are populated only by
+    history-enabled monitors (``repro.robust``): the inverse-squared-error
+    combined progress fraction, the per-candidate weights behind it, and
+    whether those weights were seeded ``"warm"`` (history priors) or
+    ``"cold"`` (uniform).
 
     Slotted: monitors allocate one per tick and sessions retain the full
     history for ratio-error replay, so the per-instance ``__dict__`` is
@@ -64,6 +75,9 @@ class ProgressSnapshot:
     pipeline_states: dict[int, str] = field(default_factory=dict)
     degraded: bool = False
     degraded_reason: str | None = None
+    ensemble: float | None = None
+    weights: dict[str, float] | None = None
+    prior_source: str | None = None
 
     @property
     def progress(self) -> float:
@@ -102,8 +116,9 @@ class ProgressMonitor:
 
     # Lock discipline: the snapshot list is appended from bus callbacks and
     # read by the post-run analysis helpers; both sides take the sampling
-    # lock, so replay never observes a half-appended list.
-    _guarded_by_ = {"snapshots": "_lock"}
+    # lock, so replay never observes a half-appended list. The ensemble
+    # state mutates once per snapshot, always under the same lock.
+    _guarded_by_ = {"snapshots": "_lock", "ensemble": "_lock"}
 
     def __init__(
         self,
@@ -114,6 +129,8 @@ class ProgressMonitor:
         record_every: int = 0,
         resilient: bool = False,
         faults: FaultPlan | None = None,
+        history: HistoryStore | None = None,
+        priors: dict[str, tuple[float, float]] | None = None,
     ):
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -145,6 +162,36 @@ class ProgressMonitor:
             if mode == "byte"
             else {}
         )
+        self.history = history
+        self.fingerprint = None
+        self.ensemble = None
+        if history is not None or priors is not None:
+            # Lazy import: the core monitor must stay importable without
+            # the robust subsystem (history is strictly opt-in).
+            from repro.robust.ensemble import EnsembleState
+            from repro.robust.history import fingerprint_plan
+
+            self.fingerprint = fingerprint_plan(root)
+            # Candidate order: the primary mode first (its total is also the
+            # snapshot's work_total_estimate — bit-identical to a plain
+            # monitor), then the applicable baselines. "once" needs the
+            # estimation manager, so it is only ever the primary.
+            candidates = [self.mode] + [
+                m for m in MODES if m not in (self.mode, "once")
+            ]
+            if not self._byte:
+                self._byte = {
+                    p.pipeline_id: ByteModelEstimator(p) for p in self.pipelines
+                }
+            prior_dict = priors
+            if prior_dict is None and history is not None:
+                prior = history.prior(self.fingerprint.digest)
+                prior_dict = (
+                    {n: (ep.mse, ep.n) for n, ep in prior.estimators.items()}
+                    if prior is not None
+                    else {}
+                )
+            self.ensemble = EnsembleState(tuple(candidates), prior_dict or {})
         self.snapshots: list[ProgressSnapshot] = []
         self._started = time.perf_counter()
         # Sampling lock: shared with the execution driver through the bus
@@ -186,8 +233,10 @@ class ProgressMonitor:
     def _snapshot_locked(self, tick: int) -> ProgressSnapshot:
         assert_owned(self._lock, "bus sampling lock")
         self.refresh_bounds()
+        ens = self.ensemble
         work_done = 0.0
         work_total = 0.0
+        cand_totals = dict.fromkeys(ens.candidates, 0.0) if ens is not None else None
         states: dict[int, str] = {}
         for pipeline in self.pipelines:
             status = self._status(pipeline)
@@ -195,8 +244,30 @@ class ProgressMonitor:
             for op in pipeline.operators:
                 k_i = float(op.tuples_emitted)
                 work_done += k_i
-                work_total += self._total_for(op, pipeline, status)
+                if cand_totals is None:
+                    work_total += self._total_for(op, pipeline, status)
+                else:
+                    for name in cand_totals:
+                        cand_totals[name] += self._total_for_mode(
+                            op, pipeline, status, name
+                        )
+        ens_progress = ens_weights = prior_source = None
+        if cand_totals is not None:
+            # The primary mode's candidate sum *is* the same per-operator
+            # dispatch a plain monitor runs — work_total stays bit-identical
+            # whether or not history is enabled (the ensemble is read-only).
+            work_total = cand_totals[self.mode]
+            ens_progress, ens_weights = ens.update(work_done, cand_totals)
+            prior_source = ens.prior_source
         degraded = self.manager is not None and self.manager.degraded
+        reason = self.manager.demotions[-1][1] if degraded else None
+        if reason is None and self.history is not None:
+            # History faults degrade the session, never the query: surface
+            # the store's reason on snapshots when no estimator demoted.
+            hist_reason = self.history.degraded_reason
+            if hist_reason is not None:
+                degraded = True
+                reason = hist_reason
         snap = ProgressSnapshot(
             tick=tick,
             timestamp=time.perf_counter() - self._started,
@@ -204,7 +275,10 @@ class ProgressMonitor:
             work_total_estimate=max(work_total, work_done),
             pipeline_states=states,
             degraded=degraded,
-            degraded_reason=self.manager.demotions[-1][1] if degraded else None,
+            degraded_reason=reason,
+            ensemble=ens_progress,
+            weights=ens_weights,
+            prior_source=prior_source,
         )
         return snap
 
@@ -250,13 +324,26 @@ class ProgressMonitor:
 
     def _total_for(self, op: Operator, pipeline: Pipeline, status: str) -> float:
         """Estimated N_i (total getnext calls) for one operator."""
+        return self._total_for_mode(op, pipeline, status, self.mode)
+
+    def _total_for_mode(
+        self, op: Operator, pipeline: Pipeline, status: str, mode: str
+    ) -> float:
+        """N_i under one candidate estimator family.
+
+        Finished/exhausted and future operators do not depend on the mode;
+        only the currently executing pipeline's dispatch differs. Every
+        estimator's ``estimate_for`` is a pure read, so the ensemble can
+        evaluate all candidates on the same tick without perturbing any of
+        them — the differential guarantee rests on this.
+        """
         k_i = float(op.tuples_emitted)
         if status == "finished" or op.is_exhausted:
             return k_i
         if status == "future":
             return max(self.bounds.estimate_of(op), k_i)
         # Currently executing pipeline.
-        if self.mode == "once":
+        if mode == "once":
             assert self.manager is not None
             est = self.manager.estimate_for(op)
             if est is not None and self.manager.has_started(op):
@@ -264,7 +351,7 @@ class ProgressMonitor:
             # Operators without estimators — or whose estimator has not
             # begun observing — fall back to dne (Section 4.4).
             return max(self._dne[pipeline.pipeline_id].estimate_for(op), k_i)
-        if self.mode == "byte":
+        if mode == "byte":
             return max(self._byte[pipeline.pipeline_id].estimate_for(op), k_i)
         return max(self._dne[pipeline.pipeline_id].estimate_for(op), k_i)
 

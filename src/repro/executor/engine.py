@@ -14,13 +14,16 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.errors import ExecutorError
 from repro.common.locks import acquires, holds_lock
 from repro.executor.operators.base import Operator
 from repro.executor.plan import validate_plan
 from repro.faults.plan import SHORT_READ, SITE_CURSOR_FETCH, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.robust.store import HistoryStore
 
 __all__ = ["ExecutionEngine", "ExecutionResult", "PlanCursor", "TickBus"]
 
@@ -241,6 +244,12 @@ class ExecutionEngine:
         Optional :class:`~repro.faults.FaultPlan` installed on the plan for
         deterministic fault injection (see docs/FAULTS.md). ``None`` keeps
         every injection site a zero-cost no-op.
+    history:
+        Optional :class:`~repro.robust.HistoryStore`. When given, the
+        engine attaches a history-enabled :class:`ProgressMonitor`
+        (creating a :class:`TickBus` if none was passed) and, on a
+        successful serial run, scores and appends the run record —
+        plus its per-subtree cardinalities — to the store.
     """
 
     def __init__(
@@ -250,6 +259,7 @@ class ExecutionEngine:
         collect_rows: bool = True,
         analyze: str | None = None,
         faults: FaultPlan | None = None,
+        history: HistoryStore | None = None,
     ):
         self.root = root
         self.bus = bus
@@ -261,8 +271,21 @@ class ExecutionEngine:
 
             self.diagnostics = check_plan(root, mode=analyze)
         self.operators = validate_plan(root)
+        self.history = history
+        self.monitor = None
+        if history is not None and bus is None:
+            bus = TickBus()
+            self.bus = bus
         if bus is not None:
             root.attach_bus(bus)
+        if history is not None:
+            # Imported here: repro.core.progress imports this module for
+            # the TickBus, so the dependency must stay one-way.
+            from repro.core.progress import ProgressMonitor
+
+            self.monitor = ProgressMonitor(
+                root, mode="once", bus=bus, history=history
+            )
 
     @acquires("bus.lock")
     def run(
@@ -347,6 +370,13 @@ class ExecutionEngine:
             for op in self.operators
             if op.node_id is not None
         }
+        if self.history is not None and self.monitor is not None:
+            # Record only serial completions here: the parallel path returns
+            # above, and its counters live in worker processes — the
+            # partitioned session records its own merged runs.
+            from repro.robust.feedback import record_run
+
+            record_run(self.monitor, self.history, elapsed, count)
         return ExecutionResult(
             root=self.root,
             row_count=count,

@@ -36,6 +36,13 @@ Sites
                           without a word, exactly like a crashed or OOM-killed
                           process — so the coordinator's death handling (EOF
                           on the delta pipe) is what gets exercised.
+``history.read``          fired when :class:`~repro.robust.HistoryStore` loads
+                          run records (prior lookup). A fault degrades the
+                          monitor to cold-start priors — it never fails the
+                          query.
+``history.write``         fired when the history store appends a run record.
+                          A fault drops the record and flags the session
+                          ``degraded``; the query result is untouched.
 ========================  =====================================================
 
 Fault kinds
@@ -79,6 +86,8 @@ __all__ = [
     "SHORT_READ",
     "SITE_CURSOR_FETCH",
     "SITE_ESTIMATOR_HOOK",
+    "SITE_HISTORY_READ",
+    "SITE_HISTORY_WRITE",
     "SITE_OPERATOR_PULL",
     "SITE_SCAN_READ",
     "SITE_SERVER_READ",
@@ -110,6 +119,8 @@ SITE_SERVER_READ = "server.read"
 SITE_SERVER_WRITE = "server.write"
 SITE_WORKER_SPAWN = "worker.spawn"
 SITE_WORKER_EXEC = "worker.exec"
+SITE_HISTORY_READ = "history.read"
+SITE_HISTORY_WRITE = "history.write"
 
 ALL_SITES = frozenset(
     {
@@ -121,6 +132,8 @@ ALL_SITES = frozenset(
         SITE_SERVER_WRITE,
         SITE_WORKER_SPAWN,
         SITE_WORKER_EXEC,
+        SITE_HISTORY_READ,
+        SITE_HISTORY_WRITE,
     }
 )
 
@@ -391,6 +404,8 @@ def parse_fault_spec(text: str) -> FaultPlan | None:
                  | site ":" kind (":" option)*
         site    := cursor.fetch | operator.pull | scan.read
                  | estimator.hook | server.read | server.write
+                 | worker.spawn | worker.exec
+                 | history.read | history.write
         kind    := error | stall | short_read
         option  := rate=FLOAT | every=INT | count=INT|inf | after=INT
                  | delay_s=FLOAT | retryable=BOOL

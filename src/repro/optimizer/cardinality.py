@@ -20,6 +20,8 @@ traced (computed columns), ``sqrt(|child|)`` is used, as real systems do.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.executor.expressions import (
     And,
     Between,
@@ -46,6 +48,9 @@ from repro.executor.operators.scan import IndexScan, SampleScan, SeqScan
 from repro.executor.operators.sort import Sort
 from repro.storage.catalog import Catalog
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.statistics import ObservedCardinalities
+
 __all__ = ["CardinalityModel", "annotate_plan"]
 
 _DEFAULT_SELECTIVITY = 1.0 / 3.0
@@ -64,9 +69,19 @@ class CardinalityModel:
     (``bench_ablation_optimizer_stats.py``).
     """
 
-    def __init__(self, catalog: Catalog, use_histograms: bool = False):
+    def __init__(
+        self,
+        catalog: Catalog,
+        use_histograms: bool = False,
+        observed: "ObservedCardinalities | None" = None,
+    ):
         self.catalog = catalog
         self.use_histograms = use_histograms
+        #: Observed-cardinality overlay from the robust feedback loop
+        #: (:mod:`repro.robust.feedback`): for plan subtrees the system has
+        #: executed before, the *observed* output count beats the model —
+        #: subject to the overlay's staleness bound.
+        self.observed = observed
         self._cache: dict[int, float] = {}
 
     # -- public API -------------------------------------------------------------
@@ -75,8 +90,27 @@ class CardinalityModel:
         """Estimated output cardinality of ``op`` (recursive, memoised)."""
         cached = self._cache.get(id(op))
         if cached is None:
-            cached = self._cache[id(op)] = self._estimate(op)
+            hit = self._observed_estimate(op)
+            cached = self._cache[id(op)] = (
+                hit if hit is not None else self._estimate(op)
+            )
         return cached
+
+    def _observed_estimate(self, op: Operator) -> float | None:
+        """The feedback overlay's count for this subtree, if fresh."""
+        if self.observed is None:
+            return None
+        from repro.executor.plan import walk
+        from repro.robust.history import fingerprint_plan
+
+        live_rows: dict[str, int] = {}
+        for sub in walk(op):
+            table = getattr(sub, "table", None)
+            if table is not None:
+                name = getattr(table, "base_name", None) or table.name
+                live_rows[name] = int(table.num_rows)
+        digest = fingerprint_plan(op).digest
+        return self.observed.lookup(digest, live_rows)
 
     def _estimate(self, op: Operator) -> float:
         if isinstance(op, (SeqScan, SampleScan)):
@@ -332,9 +366,17 @@ class CardinalityModel:
         return 1
 
 
-def annotate_plan(root: Operator, catalog: Catalog) -> dict[Operator, float]:
-    """Set ``estimated_cardinality`` on every node; return the estimates."""
-    model = CardinalityModel(catalog)
+def annotate_plan(
+    root: Operator,
+    catalog: Catalog,
+    observed: "ObservedCardinalities | None" = None,
+) -> dict[Operator, float]:
+    """Set ``estimated_cardinality`` on every node; return the estimates.
+
+    ``observed`` threads the robust feedback overlay through: subtrees the
+    system has executed before are annotated with their observed counts
+    (fresh ones only — see ``ObservedCardinalities``)."""
+    model = CardinalityModel(catalog, observed=observed)
     estimates: dict[Operator, float] = {}
 
     def visit(op: Operator) -> None:

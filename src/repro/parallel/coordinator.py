@@ -122,6 +122,7 @@ class Coordinator:
         faults: FaultPlan | None = None,
         degrade: bool = True,
         on_progress=None,
+        priors: dict[str, tuple[float, float]] | None = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -134,6 +135,9 @@ class Coordinator:
         self.faults = faults
         self.degrade = degrade
         self.on_progress = on_progress
+        # History-seeded ensemble priors, forwarded to every worker task
+        # (None = ensemble off; {} = cold-start; see WorkerTask.priors).
+        self.priors = priors
         self.monitor = PartitionedProgressMonitor(plan.num_partitions)
         self.error: str | None = None
         self.cancelled = False
@@ -166,6 +170,7 @@ class Coordinator:
             # opportunity draws, reproducible from (seed, worker_id).
             fault_seed=(faults.seed + worker_id) if faults is not None else 0,
             fault_specs=faults.specs if faults is not None else (),
+            priors=self.priors,
         )
 
     # -- lifecycle ---------------------------------------------------------------

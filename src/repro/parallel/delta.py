@@ -110,6 +110,16 @@ class ProgressDelta:
     done: bool = False
     degraded: bool = False
     degraded_reason: str | None = None
+    # Robust-ensemble fields (None unless the worker ran history-enabled):
+    # the worker's combined progress fraction, its per-candidate weights and
+    # prior seeding; ``estimator_errors``/``estimator_checkpoints`` carry
+    # the final per-candidate MSEs scored against the fragment's true total
+    # and ride only on the terminal ``done`` delta.
+    ensemble: float | None = None
+    weights: dict[str, float] | None = None
+    prior_source: str | None = None
+    estimator_errors: dict[str, float] | None = None
+    estimator_checkpoints: int = 0
 
 
 # -- merged estimator state --------------------------------------------------------

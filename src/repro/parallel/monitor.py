@@ -145,6 +145,85 @@ class PartitionedProgressMonitor:
             )
 
     @acquires("_lock")
+    def merged_estimator_errors(self) -> tuple[dict[str, float], int]:
+        """Checkpoint-weighted per-candidate MSEs across done workers.
+
+        Each history-enabled worker ships its fragment's final ensemble
+        scoring on the terminal delta; the merge weights every fragment's
+        MSE by its checkpoint count — the same pooling rule
+        :func:`repro.robust.history.aggregate_prior` applies across runs.
+        """
+        with self._lock:
+            weighted: dict[str, float] = {}
+            counts: dict[str, float] = {}
+            total_ckpts = 0
+            for delta in self._deltas.values():
+                if not delta.done or not delta.estimator_errors:
+                    continue
+                n = float(max(delta.estimator_checkpoints, 1))
+                total_ckpts += delta.estimator_checkpoints
+                for name, mse in delta.estimator_errors.items():
+                    weighted[name] = weighted.get(name, 0.0) + mse * n
+                    counts[name] = counts.get(name, 0.0) + n
+            return (
+                {name: weighted[name] / counts[name] for name in weighted},
+                total_ckpts,
+            )
+
+    @acquires("_lock")
+    def progress_curve(self) -> list[tuple[float, float]]:
+        """``(actual progress, estimated progress)`` per merged snapshot."""
+        with self._lock:
+            true_total = sum(
+                k for d in self._deltas.values() for k in d.counters.values()
+            )
+            if true_total <= 0:
+                return []
+            return [
+                (snap.work_done / true_total, snap.progress)
+                for snap in self.snapshots
+            ]
+
+    @guarded_by("_lock")
+    def _merged_ensemble_locked(
+        self,
+    ) -> tuple[float | None, dict[str, float] | None, str | None]:
+        """Work-weighted merge of the workers' ensemble reports.
+
+        Each reporting worker's combined progress fraction and candidate
+        weights are averaged, weighted by that worker's share of the global
+        work done (a fragment that did 10x the getnexts gets 10x the say).
+        Returns all-None when no worker runs an ensemble.
+        """
+        reports = [d for d in self._deltas.values() if d.ensemble is not None]
+        if not reports:
+            return None, None, None
+        share = {
+            d.worker_id: max(sum(d.counters.values()), 1.0) for d in reports
+        }
+        total = sum(share.values())
+        ensemble = (
+            sum(share[d.worker_id] * d.ensemble for d in reports) / total
+        )
+        names = sorted({n for d in reports if d.weights for n in d.weights})
+        weights = None
+        if names:
+            weights = {
+                name: sum(
+                    share[d.worker_id] * (d.weights or {}).get(name, 0.0)
+                    for d in reports
+                )
+                / total
+                for name in names
+            }
+        prior_source = (
+            "warm"
+            if any(d.prior_source == "warm" for d in reports)
+            else "cold"
+        )
+        return min(ensemble, 1.0), weights, prior_source
+
+    @acquires("_lock")
     def snapshot(self, tick: int = -1) -> ProgressSnapshot:
         """The merged global snapshot; monotone across successive calls."""
         with self._lock:
@@ -188,6 +267,7 @@ class PartitionedProgressMonitor:
                 ratio = self._hw_ratio
             else:
                 self._hw_ratio = max(self._hw_ratio, ratio)
+            ensemble, weights, prior_source = self._merged_ensemble_locked()
             snap = ProgressSnapshot(
                 tick=tick,
                 timestamp=time.perf_counter() - self._started,
@@ -196,6 +276,9 @@ class PartitionedProgressMonitor:
                 pipeline_states={},
                 degraded=self._degraded,
                 degraded_reason=self._degraded_reason,
+                ensemble=ensemble,
+                weights=weights,
+                prior_source=prior_source,
             )
             self.snapshots.append(snap)
             return snap

@@ -90,6 +90,8 @@ class ParallelQuerySession:
         batch_size: int = 1024,
         delta_every: int = 4096,
         pump_timeout_s: float = 0.02,
+        history=None,
+        observed=None,
     ):
         if row_cap < 0:
             raise ValueError(f"row_cap must be >= 0, got {row_cap}")
@@ -102,6 +104,23 @@ class ParallelQuerySession:
         self.row_cap = row_cap
         self.timeout_s = timeout_s
         self.pump_timeout_s = pump_timeout_s
+        # History-enabled parallel runs: priors are resolved once against
+        # the *serial* plan's fingerprint and forwarded to every worker in
+        # picklable form; the store itself never crosses a pipe.
+        self.history = history
+        self.observed = observed
+        self.fingerprint = None
+        priors = None
+        if history is not None:
+            from repro.robust.history import fingerprint_plan
+
+            self.fingerprint = fingerprint_plan(plan)
+            prior = history.prior(self.fingerprint.digest)
+            priors = (
+                {n: (ep.mse, ep.n) for n, ep in prior.estimators.items()}
+                if prior is not None
+                else {}
+            )
         self.coordinator = Coordinator(
             fragments,
             backend=backend,
@@ -111,6 +130,7 @@ class ParallelQuerySession:
             delta_every=delta_every,
             faults=faults,
             degrade=degrade,
+            priors=priors,
         )
         self.monitor = self.coordinator.monitor
         self.parallelism = fragments.num_partitions
@@ -211,6 +231,9 @@ class ParallelQuerySession:
             degraded=progress.degraded,
             degraded_reason=progress.degraded_reason,
             retries=self.retry_count,
+            ensemble=progress.ensemble,
+            weights=progress.weights,
+            prior_source=progress.prior_source,
         )
 
     def results(self) -> tuple[list[str], list[tuple], bool]:
@@ -293,4 +316,24 @@ class ParallelQuerySession:
         self.error = error
         self.state = state
         self.finished_at = time.monotonic()
+        if (
+            state is SessionState.FINISHED
+            and self.history is not None
+            and self.fingerprint is not None
+        ):
+            # Merged statistics feedback: per-candidate errors pooled
+            # checkpoint-weighted across workers, node cardinalities from
+            # the merged counters. A store fault degrades history only.
+            from repro.robust.feedback import record_merged_run
+
+            record_merged_run(
+                self.fingerprint,
+                self.monitor,
+                self.history,
+                self.coordinator.mode,
+                self.elapsed_s(),
+                self.row_count,
+                self.plan,
+                observed=self.observed,
+            )
         self._publish()

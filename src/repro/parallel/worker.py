@@ -77,6 +77,10 @@ class WorkerTask:
     delta_every: int = 4096
     fault_seed: int = 0
     fault_specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    # History-seeded ensemble priors ({name: (mse, n)}). None disables the
+    # ensemble entirely; {} enables it cold-start. The store itself never
+    # crosses the pipe — the coordinator resolves priors before spawning.
+    priors: dict[str, tuple[float, float]] | None = None
 
 
 def extract_delta(
@@ -174,6 +178,21 @@ def extract_delta(
                 )
         degraded = manager is not None and manager.degraded
         reason = manager.demotions[-1][1] if degraded else None
+        ensemble = weights = prior_source = None
+        est_errors: dict[str, float] | None = None
+        est_checkpoints = 0
+        if monitor.snapshots:
+            last = monitor.snapshots[-1]
+            ensemble = last.ensemble
+            weights = last.weights
+            prior_source = last.prior_source
+        if done and monitor.ensemble is not None:
+            # Terminal delta: score this fragment's ensemble trajectory
+            # against the fragment's now-exact local total so the
+            # coordinator can aggregate per-candidate errors across workers.
+            est_errors, est_checkpoints = monitor.ensemble.final_errors(
+                monitor.true_total()
+            )
     return ProgressDelta(
         worker_id=task.worker_id,
         seq=seq,
@@ -183,6 +202,11 @@ def extract_delta(
         done=done,
         degraded=degraded,
         degraded_reason=reason,
+        ensemble=ensemble,
+        weights=weights,
+        prior_source=prior_source,
+        estimator_errors=est_errors,
+        estimator_checkpoints=est_checkpoints,
     )
 
 
@@ -200,7 +224,12 @@ def run_fragment(conn, task: WorkerTask, hard_kill: bool = True) -> None:
     )
     bus = TickBus(task.tick_interval)
     monitor = ProgressMonitor(
-        task.fragment, mode=task.mode, bus=bus, resilient=True, faults=faults
+        task.fragment,
+        mode=task.mode,
+        bus=bus,
+        resilient=True,
+        faults=faults,
+        priors=task.priors,
     )
     cursor = PlanCursor(task.fragment, bus, faults=faults)
     seq = 0
@@ -245,6 +274,10 @@ def run_fragment(conn, task: WorkerTask, hard_kill: bool = True) -> None:
     # Close before the final delta: closing marks every pipeline finished,
     # so the totals in the "done" payload are the exact K_i values.
     cursor.close()
+    # One terminal sample so the done delta's ensemble fields reflect the
+    # finished fragment (harmless for plain monitors — the snapshot list is
+    # worker-local).
+    monitor.snapshot()
     seq += 1
     conn.send(("done", extract_delta(monitor, task, seq, done=True)))
 

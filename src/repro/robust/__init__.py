@@ -1,0 +1,40 @@
+"""Robust progress estimation: run history, online ensembles, statistics
+feedback (see docs/ROBUST.md)."""
+
+from repro.robust.ensemble import COLD, WARM, EnsembleState
+from repro.robust.feedback import (
+    build_merged_record,
+    build_record,
+    observed_view,
+    record_merged_run,
+    record_run,
+)
+from repro.robust.history import (
+    EstimatorPrior,
+    PlanFingerprint,
+    Prior,
+    RunRecord,
+    aggregate_prior,
+    canonical_expression,
+    fingerprint_plan,
+)
+from repro.robust.store import HistoryStore
+
+__all__ = [
+    "COLD",
+    "EnsembleState",
+    "EstimatorPrior",
+    "HistoryStore",
+    "PlanFingerprint",
+    "Prior",
+    "RunRecord",
+    "WARM",
+    "aggregate_prior",
+    "build_merged_record",
+    "build_record",
+    "canonical_expression",
+    "fingerprint_plan",
+    "observed_view",
+    "record_merged_run",
+    "record_run",
+]

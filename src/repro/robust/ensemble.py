@@ -1,0 +1,206 @@
+"""Online ensemble combination of concurrent progress estimators.
+
+König et al. (*A Statistical Approach Towards Robust Progress Estimation*)
+observe that every single-estimator progress indicator has workloads where
+it is badly wrong early, and that a combination weighted by *observed*
+accuracy — seeded from prior executions of the same plan — dominates any
+fixed choice. This module is that combiner.
+
+The monitor computes, at every checkpoint, each candidate's total-work
+estimate over the identical operator counters (the candidates share one
+tick stream and are read-only over it — the differential guarantee). The
+ensemble then:
+
+1. scores each candidate **in hindsight**: the progress it claimed at the
+   previous checkpoint, ``p_i(t-1) = d(t-1) / T_i(t-1)``, against the
+   reference ``d(t-1) / T_ref(t)`` where ``T_ref(t)`` is the **primary
+   mode's current** total estimate. The primary is the getnext-model
+   estimator the monitor runs anyway; its total converges to the true
+   ``T(Q)`` as the run drains, so "the primary's best knowledge *now*"
+   is the closest thing to ground truth available mid-run. Scoring is
+   deliberately independent of the ensemble weights (no candidate —
+   however dominant, e.g. via a stale warm prior — gets to define its
+   own truth), and the primary itself is scored the same way: when its
+   total refines, its own earlier claims accrue error too;
+2. folds the error into an exponentially decayed accumulator
+   (``λ = 0.6``), so a candidate that was wrong at startup but converged
+   is forgiven, and the shared shock every candidate takes when the
+   reference total jumps washes out within a few checkpoints;
+3. blends the online error with the history prior by pseudo-counts:
+   ``mse_i = (prior_mse_i · n_prior + sse_i) / (n_prior + n_i)`` — a warm
+   store dominates the first checkpoints exactly when the online record is
+   too short to mean anything, then washes out;
+4. weights ``w_i ∝ (1 / (mse_i + ε))³``, normalized; the combined
+   progress is ``Σ w_i · p_i(t)``. The exponent sharpens contrast: a
+   candidate ten times worse gets a thousandth of the weight, not a
+   tenth — see :data:`CONTRAST`.
+
+Cold start (no history, or a degraded store) is the uniform prior: every
+candidate starts at the same weight and the online record takes over
+within a few checkpoints.
+
+Thread safety: an :class:`EnsembleState` is owned by one
+:class:`~repro.core.progress.ProgressMonitor` and is only ever touched
+from ``_snapshot_locked`` — i.e. under the monitor's TickBus-carried
+sampling lock. It takes no lock of its own (a second lock under the
+sampling lock would only add an X004 ordering edge for nothing).
+"""
+
+from __future__ import annotations
+
+__all__ = ["EnsembleState", "COLD", "WARM"]
+
+#: ``prior_source`` wire values.
+WARM = "warm"
+COLD = "cold"
+
+#: Exponential decay applied to the online squared-error record per step.
+#: Aggressive by design: when the reference total jumps (a join's output
+#: estimate materializing), *every* candidate's past claims accrue the
+#: same hindsight error — a shared shock with zero information about
+#: relative accuracy. A short memory washes that shock in 2-3
+#: checkpoints, so the weights re-concentrate on whoever tracks the
+#: refined total instead of stalling at uniform.
+DECAY = 0.6
+
+#: Regularizer added to every MSE before inversion — bounds the weight
+#: ratio between a perfect candidate and a terrible one. Deliberately
+#: tiny: a candidate whose hindsight record is ~perfect (the primary on
+#: a stable plan) must be able to dominate wildly-wrong ones fast; the
+#: decayed error window (not this floor) is what keeps weights mobile.
+EPSILON = 1e-6
+
+#: Exponent applied to the inverse MSE before normalizing. 1 is the
+#: classic inverse-error mixture; higher values sharpen the contrast so
+#: a candidate an order of magnitude worse carries ~no weight instead
+#: of a stubborn few percent — that residual is pure contamination on
+#: workloads where one estimator is simply right.
+CONTRAST = 3.0
+
+#: Cap on the pseudo-count a history prior may carry: history informs the
+#: opening weights, the live run owns the endgame.
+MAX_PRIOR_COUNT = 32.0
+
+
+class EnsembleState:
+    """Inverse-squared-error weighting over candidate estimators.
+
+    Parameters
+    ----------
+    candidates:
+        Candidate names (``once``/``dne``/``byte``); the first entry is
+        the primary mode, whose current total anchors hindsight scoring.
+    priors:
+        Per-candidate ``(mse, n)`` from :meth:`HistoryStore.prior`; an
+        empty/missing mapping is the uniform cold start.
+    """
+
+    def __init__(
+        self,
+        candidates: tuple[str, ...],
+        priors: dict[str, tuple[float, int]] | None = None,
+    ):
+        self.candidates = tuple(candidates)
+        self.priors: dict[str, tuple[float, float]] = {}
+        for name in self.candidates:
+            prior = (priors or {}).get(name)
+            if prior is not None and prior[1] > 0:
+                self.priors[name] = (
+                    max(float(prior[0]), 0.0),
+                    min(float(prior[1]), MAX_PRIOR_COUNT),
+                )
+        self.prior_source = WARM if self.priors else COLD
+        self._sse = {name: 0.0 for name in self.candidates}
+        self._n = {name: 0.0 for name in self.candidates}
+        self._weights = self._weights_from_errors()
+        self._prev_progress: dict[str, float] | None = None
+        self._prev_done = 0.0
+        #: ``(work_done, {candidate: total})`` per checkpoint — replayed
+        #: against the true total at FINISHED to score this run.
+        self.trajectory: list[tuple[float, dict[str, float]]] = []
+
+    # -- weighting ---------------------------------------------------------
+
+    def _effective_mse(self, name: str) -> float:
+        prior_mse, prior_n = self.priors.get(name, (0.0, 0.0))
+        n = prior_n + self._n[name]
+        if n <= 0:
+            return 0.0  # uniform: every untouched candidate ties
+        return (prior_mse * prior_n + self._sse[name]) / n
+
+    def _weights_from_errors(self) -> dict[str, float]:
+        raw = {
+            name: (1.0 / (self._effective_mse(name) + EPSILON)) ** CONTRAST
+            for name in self.candidates
+        }
+        total = sum(raw.values())
+        if total <= 0:  # pragma: no cover - defensive
+            uniform = 1.0 / max(len(self.candidates), 1)
+            return {name: uniform for name in self.candidates}
+        return {name: value / total for name, value in raw.items()}
+
+    @staticmethod
+    def _progress(done: float, total: float) -> float:
+        if total <= 0:
+            return 0.0
+        return min(done / total, 1.0)
+
+
+    def update(
+        self, work_done: float, totals: dict[str, float]
+    ) -> tuple[float, dict[str, float]]:
+        """Fold one checkpoint; returns ``(combined progress, weights)``.
+
+        ``totals`` maps each candidate to its current total-work estimate
+        over the shared counters. Must be called under the owning
+        monitor's sampling lock (it is — only ``_snapshot_locked`` calls
+        here).
+        """
+        progress = {
+            name: self._progress(work_done, totals.get(name, 0.0))
+            for name in self.candidates
+        }
+        # Hindsight reference: the primary mode's *current* total estimate
+        # (candidates[0]) — the system's best mid-run belief of T(Q); it
+        # converges to the truth as the run drains. Weight-independent by
+        # design (see the module docstring).
+        ref_total = totals.get(self.candidates[0], 0.0)
+        if (
+            self._prev_progress is not None
+            and work_done > self._prev_done > 0
+            and ref_total > 0
+        ):
+            # Hindsight target: where checkpoint t-1 actually was, assuming
+            # the current reference total is the best guess of T(Q).
+            target = self._progress(self._prev_done, ref_total)
+            for name in self.candidates:
+                err = self._prev_progress[name] - target
+                self._sse[name] = DECAY * self._sse[name] + err * err
+                self._n[name] = DECAY * self._n[name] + 1.0
+            self._weights = self._weights_from_errors()
+        combined = sum(
+            self._weights[name] * progress[name] for name in self.candidates
+        )
+        combined = min(max(combined, 0.0), 1.0)
+        self._prev_progress = progress
+        self._prev_done = work_done
+        self.trajectory.append((work_done, dict(totals)))
+        return combined, dict(self._weights)
+
+    # -- post-run scoring --------------------------------------------------
+
+    def final_errors(self, true_total: float) -> tuple[dict[str, float], int]:
+        """Mean squared progress error per candidate over the recorded
+        trajectory, against the now-known true total. Feeds the history
+        record that becomes the next run's prior."""
+        if true_total <= 0 or not self.trajectory:
+            return {}, 0
+        sums = {name: 0.0 for name in self.candidates}
+        count = 0
+        for done, totals in self.trajectory:
+            actual = self._progress(done, true_total)
+            count += 1
+            for name in self.candidates:
+                err = self._progress(done, totals.get(name, 0.0)) - actual
+                sums[name] += err * err
+        return {name: sums[name] / count for name in self.candidates}, count

@@ -1,0 +1,193 @@
+"""Statistics feedback: finished runs teach the optimizer.
+
+On FINISHED, the integration layer (engine / server session) calls
+:func:`record_run`: the monitor's ensemble trajectory is scored against
+the now-known true total, per-subtree final cardinalities are captured,
+and one :class:`~repro.robust.history.RunRecord` is appended to the
+store. :func:`observed_view` then projects the whole history into an
+:class:`~repro.storage.statistics.ObservedCardinalities` overlay that
+:mod:`repro.optimizer.cardinality` consults before its model — observed
+counts beat modeled counts for plans the system has actually run, in the
+spirit of workload-driven estimation (*Is it Bigger than a Breadbox*).
+
+Staleness is bounded twice (see ``ObservedCardinalities``): an observation
+older than ``max_age_runs`` appends, or one whose base tables have
+drifted more than ``max_drift`` in row count since observation, falls
+back to the model.
+
+This module does no file I/O (lint rule R008): persistence belongs to
+:class:`~repro.robust.store.HistoryStore` alone.
+"""
+
+from __future__ import annotations
+
+from repro.robust.history import RunRecord, fingerprint_plan
+from repro.robust.store import HistoryStore
+from repro.storage.statistics import ObservedCardinalities
+
+__all__ = [
+    "build_record",
+    "observed_view",
+    "record_merged_run",
+    "record_run",
+]
+
+#: Progress-curve points kept per record — enough to plot, cheap to store.
+MAX_CURVE_POINTS = 64
+
+
+def _downsample(points: list[tuple[float, float]]) -> list[list[float]]:
+    if len(points) <= MAX_CURVE_POINTS:
+        return [[float(a), float(b)] for a, b in points]
+    step = len(points) / MAX_CURVE_POINTS
+    picked = [points[int(i * step)] for i in range(MAX_CURVE_POINTS)]
+    picked[-1] = points[-1]
+    return [[float(a), float(b)] for a, b in picked]
+
+
+def _base_table_rows(root) -> dict[str, int]:
+    """Current row count of every base table under ``root``."""
+    from repro.executor.plan import walk
+
+    out: dict[str, int] = {}
+    for op in walk(root):
+        table = getattr(op, "table", None)
+        if table is not None:
+            name = getattr(table, "base_name", None) or table.name
+            out[name] = int(table.num_rows)
+    return out
+
+
+def build_record(monitor, wall_time_s: float, row_count: int) -> RunRecord | None:
+    """A :class:`RunRecord` for one finished, history-enabled monitor.
+
+    Returns None when the monitor has no fingerprint/ensemble (history was
+    not enabled) — recording is strictly opt-in.
+    """
+    fingerprint = getattr(monitor, "fingerprint", None)
+    ensemble = getattr(monitor, "ensemble", None)
+    if fingerprint is None or ensemble is None:
+        return None
+    true_total = monitor.true_total()
+    errors, checkpoints = ensemble.final_errors(true_total)
+    node_cards: dict[str, float] = {}
+    for node_id, (k_i, _total) in monitor.operator_totals().items():
+        digest = fingerprint.nodes.get(node_id)
+        if digest is not None:
+            node_cards[digest] = float(k_i)
+    return RunRecord(
+        fingerprint=fingerprint.digest,
+        signature=fingerprint.signature,
+        mode=monitor.mode,
+        wall_time_s=float(wall_time_s),
+        true_total=float(true_total),
+        row_count=int(row_count),
+        curve=_downsample(monitor.progress_curve()),
+        estimator_errors=errors,
+        estimator_checkpoints=checkpoints,
+        node_cards=node_cards,
+        table_rows=_base_table_rows(monitor.root),
+    )
+
+
+def record_run(
+    monitor,
+    store: HistoryStore,
+    wall_time_s: float,
+    row_count: int,
+    observed: ObservedCardinalities | None = None,
+) -> RunRecord | None:
+    """Score, persist and (optionally) feed back one finished run.
+
+    Returns the appended record, or None when the monitor was not
+    history-enabled or the store dropped the write (fault/IO error — the
+    caller reads ``store.degraded_reason``). When ``observed`` is given,
+    the run's per-subtree cardinalities are folded into it so the next
+    compilation sees them immediately, without a store round-trip.
+    """
+    record = build_record(monitor, wall_time_s, row_count)
+    if record is None:
+        return None
+    if not store.append_run(record):
+        return None
+    if observed is not None:
+        observed.absorb(record.node_cards, record.table_rows, record.seq)
+    return record
+
+
+def build_merged_record(
+    fingerprint,
+    monitor,
+    mode: str,
+    wall_time_s: float,
+    row_count: int,
+    plan,
+) -> RunRecord:
+    """A :class:`RunRecord` for one finished *partitioned* run.
+
+    ``monitor`` is a
+    :class:`~repro.parallel.monitor.PartitionedProgressMonitor`: node
+    cardinalities come from its merged per-node counters (already keyed by
+    serial node id), estimator errors from the checkpoint-weighted merge
+    of the workers' terminal scorings, and the curve from its merged
+    snapshot stream. ``plan`` is the *serial* root (for base-table rows).
+    """
+    true_total = monitor.true_total()
+    errors, checkpoints = monitor.merged_estimator_errors()
+    node_cards: dict[str, float] = {}
+    for node_id, k_i in monitor.merged_counters().items():
+        digest = fingerprint.nodes.get(node_id)
+        if digest is not None:
+            node_cards[digest] = float(k_i)
+    return RunRecord(
+        fingerprint=fingerprint.digest,
+        signature=fingerprint.signature,
+        mode=mode,
+        wall_time_s=float(wall_time_s),
+        true_total=float(true_total),
+        row_count=int(row_count),
+        curve=_downsample(monitor.progress_curve()),
+        estimator_errors=errors,
+        estimator_checkpoints=checkpoints,
+        node_cards=node_cards,
+        table_rows=_base_table_rows(plan),
+    )
+
+
+def record_merged_run(
+    fingerprint,
+    monitor,
+    store: HistoryStore,
+    mode: str,
+    wall_time_s: float,
+    row_count: int,
+    plan,
+    observed: ObservedCardinalities | None = None,
+) -> RunRecord | None:
+    """Persist one finished partitioned run (see :func:`record_run`)."""
+    record = build_merged_record(
+        fingerprint, monitor, mode, wall_time_s, row_count, plan
+    )
+    if not store.append_run(record):
+        return None
+    if observed is not None:
+        observed.absorb(record.node_cards, record.table_rows, record.seq)
+    return record
+
+
+def observed_view(store: HistoryStore, **kwargs) -> ObservedCardinalities:
+    """Project a history store into an optimizer cardinality overlay.
+
+    Records replay oldest-to-newest, so the newest observation of each
+    subtree wins; ``kwargs`` forward to :class:`ObservedCardinalities`
+    (``max_drift``, ``max_age_runs``).
+    """
+    observed = ObservedCardinalities(**kwargs)
+    for record in store.records():
+        observed.absorb(record.node_cards, record.table_rows, record.seq)
+    return observed
+
+
+def plan_fingerprint_digest(root) -> str:
+    """Convenience: just the digest of a plan (CLI, tests)."""
+    return fingerprint_plan(root).digest

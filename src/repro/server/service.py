@@ -95,6 +95,7 @@ class ProgressService:
         retry_budget: int = 3,
         max_parallel: int = 0,
         parallel_backend: str = "process",
+        history_path=None,
     ):
         if max_parallel < 0:
             raise ValueError(f"max_parallel must be >= 0, got {max_parallel}")
@@ -113,6 +114,18 @@ class ProgressService:
         # the stack stays a zero-cost no-op.
         self.faults = faults if faults is not None else plan_from_env()
         self.retry_budget = retry_budget
+        # Robust subsystem: a run-history store shared by every session
+        # (priors in, run records out) plus the observed-cardinality
+        # overlay the compiler consults. Built after ``faults`` so the
+        # store's history.read/write sites are armed; a read fault here
+        # degrades the store to cold-start priors, never the service.
+        self.history = None
+        self.observed = None
+        if history_path is not None:
+            from repro.robust import HistoryStore, observed_view
+
+            self.history = HistoryStore(history_path, faults=self.faults)
+            self.observed = observed_view(self.history)
         # Parallel admission: 0 disables parallel execution entirely;
         # otherwise per-query parallelism is clamped to this ceiling.
         self.max_parallel = max_parallel
@@ -151,7 +164,10 @@ class ProgressService:
         from repro.sql import compile_select
 
         compiled = compile_select(
-            self.catalog, sql, sample_fraction=self.sample_fraction
+            self.catalog,
+            sql,
+            sample_fraction=self.sample_fraction,
+            observed=self.observed,
         )
         session = None
         requested = min(int(parallel or 0), self.max_parallel)
@@ -173,6 +189,8 @@ class ProgressService:
                         timeout_s if timeout_s is not None else self.default_timeout_s
                     ),
                     faults=self.faults,
+                    history=self.history,
+                    observed=self.observed,
                 )
         if session is None:
             session = QuerySession(
@@ -187,6 +205,8 @@ class ProgressService:
                 ),
                 faults=self.faults,
                 retry_budget=self.retry_budget,
+                history=self.history,
+                observed=self.observed,
             )
         # The frame encoder must exist before the listener can fire: the
         # first published snapshot already goes through it.

@@ -72,6 +72,11 @@ class SessionSnapshot:
     runtime estimator demotion (the query itself is fine — only estimate
     quality degraded); ``retries`` counts transient storage faults
     absorbed by the session's retry budget.
+
+    ``ensemble``/``weights``/``prior_source`` carry the robust monitor's
+    combined progress estimate, its per-candidate weights and whether the
+    weights were history-seeded (``"warm"``/``"cold"``); all None unless
+    the session runs with a history store attached.
     """
 
     session_id: str
@@ -87,6 +92,9 @@ class SessionSnapshot:
     degraded: bool = False
     degraded_reason: str | None = None
     retries: int = 0
+    ensemble: float | None = None
+    weights: dict[str, float] | None = None
+    prior_source: str | None = None
 
     def to_wire(self) -> dict:
         """The snapshot's wire dict, memoized per instance.
@@ -112,6 +120,15 @@ class SessionSnapshot:
                 "degraded": self.degraded,
                 "degraded_reason": self.degraded_reason,
                 "retries": self.retries,
+                "ensemble": (
+                    round(self.ensemble, 6) if self.ensemble is not None else None
+                ),
+                "weights": (
+                    {k: round(v, 6) for k, v in self.weights.items()}
+                    if self.weights is not None
+                    else None
+                ),
+                "prior_source": self.prior_source,
             }
             object.__setattr__(self, "_wire", cached)
         return cached
@@ -149,6 +166,14 @@ class QuerySession:
         Transient storage faults (:class:`TransientFault`, fired at the
         resumable cursor boundary) absorbed per session before the next
         one is treated as fatal.
+    history / observed:
+        Optional :class:`~repro.robust.HistoryStore` and
+        :class:`~repro.storage.statistics.ObservedCardinalities`. With a
+        store attached, the session builds a history-enabled monitor
+        (ensemble fields appear on snapshots) and, on FINISHED, scores
+        and appends the run record — folding its per-subtree
+        cardinalities into ``observed`` for the optimizer's
+        observed-over-modeled feedback loop.
     """
 
     # Lock discipline (machine-checked by repro.analysis.concurrency).
@@ -199,6 +224,8 @@ class QuerySession:
         faults: FaultPlan | None = None,
         resilient: bool = True,
         retry_budget: int = 3,
+        history=None,
+        observed=None,
     ):
         if quantum_rows < 1:
             raise ValueError(f"quantum_rows must be >= 1, got {quantum_rows}")
@@ -217,6 +244,8 @@ class QuerySession:
         self.bus = bus if bus is not None else TickBus(interval=tick_interval)
         self.faults = faults
         self.retry_budget = retry_budget
+        self.history = history
+        self.observed = observed
         self.monitor = (
             monitor
             if monitor is not None
@@ -227,6 +256,7 @@ class QuerySession:
                 bus=self.bus,
                 resilient=resilient,
                 faults=faults,
+                history=history,
             )
         )
         self.cursor = PlanCursor(plan, bus=self.bus, faults=faults)
@@ -375,6 +405,9 @@ class QuerySession:
             degraded=degraded,
             degraded_reason=progress.degraded_reason if degraded else None,
             retries=self.retry_count,
+            ensemble=progress.ensemble if progress is not None else None,
+            weights=progress.weights if progress is not None else None,
+            prior_source=progress.prior_source if progress is not None else None,
         )
 
     def results(self) -> tuple[list[str], list[tuple], bool]:
@@ -481,6 +514,20 @@ class QuerySession:
                 self.error = _describe_error(exc)
         self.state = state
         self.finished_at = time.monotonic()
+        if state is SessionState.FINISHED and self.history is not None:
+            # Statistics feedback: score the ensemble trajectory against the
+            # now-known true total and persist the run. A store fault here
+            # degrades the session's history, never the (already complete)
+            # query — append_run absorbs it and sets degraded_reason.
+            from repro.robust.feedback import record_run
+
+            record_run(
+                self.monitor,
+                self.history,
+                self.elapsed_s(),
+                self.row_count,
+                observed=self.observed,
+            )
         self.bus.unsubscribe(self._on_bus_tick)
         self._publish()
 

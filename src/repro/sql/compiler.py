@@ -113,6 +113,7 @@ def compile_select(
     memory_partitions: int = 1,
     annotate: bool = True,
     analyze: str = "strict",
+    observed=None,
 ) -> CompiledQuery:
     """Compile a SELECT (string or AST) against ``catalog``.
 
@@ -120,6 +121,12 @@ def compile_select(
     raises :class:`~repro.common.errors.AnalysisError` on any error
     diagnostic, ``"advisory"`` attaches the report to the returned
     :class:`CompiledQuery`, ``"off"`` skips the pass.
+
+    ``observed`` is an optional
+    :class:`~repro.storage.statistics.ObservedCardinalities` overlay
+    (the robust subsystem's statistics feedback): subtrees the system
+    has executed before are annotated with their *observed* output
+    cardinality instead of the textbook model's estimate.
     """
     if analyze not in ("strict", "advisory", "off"):
         raise ValueError(f"analyze must be 'strict', 'advisory' or 'off', got {analyze!r}")
@@ -260,7 +267,7 @@ def compile_select(
         plan = Limit(plan, statement.limit)
 
     if annotate:
-        annotate_plan(plan, catalog)
+        annotate_plan(plan, catalog, observed=observed)
     diagnostics = None
     if analyze != "off":
         from repro.executor.plan import check_plan

@@ -15,14 +15,21 @@ mimicking ANALYZE-style collection.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.common.locks import acquires
 from repro.common.rng import make_rng
 from repro.storage.schema import ColumnType
 from repro.storage.table import Table
 
-__all__ = ["ColumnStatistics", "TableStatistics", "build_statistics"]
+__all__ = [
+    "ColumnStatistics",
+    "ObservedCardinalities",
+    "TableStatistics",
+    "build_statistics",
+]
 
 _HISTOGRAM_BUCKETS = 32
 _NUM_MCVS = 8
@@ -106,6 +113,91 @@ class TableStatistics:
 
     def has_column(self, name: str) -> bool:
         return name.split(".")[-1] in self.columns
+
+
+@dataclass(frozen=True)
+class _Observation:
+    """One remembered subtree cardinality plus its staleness anchors."""
+
+    rows: float
+    table_rows: dict[str, int]
+    seq: int
+
+
+class ObservedCardinalities:
+    """Observed-over-modeled cardinality overlay for the optimizer.
+
+    The robust subsystem's feedback loop (:mod:`repro.robust.feedback`)
+    records, per finished run, the *actual* output cardinality of every
+    plan subtree, keyed by the subtree's canonical fingerprint digest.
+    :class:`~repro.optimizer.cardinality.CardinalityModel` consults this
+    overlay before its textbook model: for a subtree the system has
+    executed before, the observed count wins.
+
+    Staleness bound (both must hold for a hit):
+
+    * **drift** — every base table under the subtree is within
+      ``max_drift`` (relative row-count change) of where it stood when
+      the observation was taken;
+    * **age** — no more than ``max_age_runs`` runs have been absorbed
+      since the observation (an old count on a hot store is suspect even
+      if the table sizes happen to match).
+
+    Thread-safe: the service absorbs finished runs from session listener
+    threads while compile threads look subtrees up.
+    """
+
+    _guarded_by_ = {"_cards": "_lock", "_latest_seq": "_lock"}
+
+    def __init__(self, max_drift: float = 0.1, max_age_runs: int = 32):
+        if max_drift < 0:
+            raise ValueError(f"max_drift must be >= 0, got {max_drift}")
+        if max_age_runs < 1:
+            raise ValueError(f"max_age_runs must be >= 1, got {max_age_runs}")
+        self.max_drift = float(max_drift)
+        self.max_age_runs = int(max_age_runs)
+        self._lock = threading.Lock()
+        self._cards: dict[str, _Observation] = {}
+        self._latest_seq = 0
+
+    @acquires("_lock")
+    def absorb(
+        self, node_cards: dict[str, float], table_rows: dict[str, int], seq: int
+    ) -> None:
+        """Fold one run's per-subtree cardinalities in (newest wins)."""
+        with self._lock:
+            self._latest_seq = max(self._latest_seq, int(seq))
+            for digest, rows in node_cards.items():
+                self._cards[digest] = _Observation(
+                    rows=float(rows),
+                    table_rows=dict(table_rows),
+                    seq=int(seq),
+                )
+
+    @acquires("_lock")
+    def lookup(
+        self, digest: str, live_table_rows: dict[str, int] | None = None
+    ) -> float | None:
+        """The observed cardinality for a subtree digest, or None when the
+        subtree was never observed or the observation is stale."""
+        with self._lock:
+            obs = self._cards.get(digest)
+            if obs is None:
+                return None
+            if self._latest_seq - obs.seq > self.max_age_runs:
+                return None
+            for name, live in (live_table_rows or {}).items():
+                then = obs.table_rows.get(name)
+                if then is None:
+                    return None  # new base table: observation predates it
+                drift = abs(int(live) - then) / max(then, 1)
+                if drift > self.max_drift:
+                    return None
+            return obs.rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cards)
 
 
 def build_statistics(

@@ -45,6 +45,9 @@ class Table:
         if block_size < 1:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         self.name = name
+        # The un-aliased relation name: survives aliased() views, so plan
+        # fingerprints hash self-join variants of one table identically.
+        self.base_name = name
         self.schema = Schema(
             c if c.qualifier else c.with_qualifier(name) for c in schema
         )
@@ -109,6 +112,7 @@ class Table:
         """
         view = Table.__new__(Table)
         view.name = alias
+        view.base_name = getattr(self, "base_name", self.name)
         view.schema = self.schema.with_qualifier(alias)
         view._rows = self._rows
         view.block_size = self.block_size

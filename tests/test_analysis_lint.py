@@ -106,7 +106,7 @@ class TestEngine:
 
     def test_rules_registry_documents_every_rule(self):
         assert set(RULES) == {
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         }
 
 
@@ -279,6 +279,48 @@ class TestR007SerializeOnce:
     def test_shipped_server_package_is_clean(self):
         server_pkg = REPO / "src" / "repro" / "server"
         violations = lint_paths([str(server_pkg)], rules={"R007"})
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+
+class TestR008HistoryFileAccess:
+    """Raw file I/O in ``repro/robust/`` is legal only in ``store.py``."""
+
+    SOURCE = (
+        "from pathlib import Path\n"
+        "def peek(path):\n"
+        "    with open(path) as fh:\n"
+        "        return fh.read()\n"
+        "def slurp(path):\n"
+        "    return Path(path).read_text()\n"
+        "def stomp(path, text):\n"
+        "    Path(path).write_text(text)\n"
+    )
+
+    def _write(self, tmp_path, *parts, source=None):
+        target = tmp_path.joinpath(*parts)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source or self.SOURCE)
+        return str(target)
+
+    def test_raw_io_flagged_in_robust_package(self, tmp_path):
+        path = self._write(tmp_path, "repro", "robust", "bad_io.py")
+        violations = lint_paths([path], rules={"R008"})
+        # open, read_text, write_text.
+        assert len(violations) == 3
+        assert rules_of(violations) == {"R008"}
+        assert "HistoryStore" in violations[0].message
+
+    def test_store_module_is_exempt(self, tmp_path):
+        path = self._write(tmp_path, "repro", "robust", "store.py")
+        assert lint_paths([path], rules={"R008"}) == []
+
+    def test_same_code_outside_robust_package_is_clean(self, tmp_path):
+        path = self._write(tmp_path, "repro", "server", "fine_io.py")
+        assert lint_paths([path], rules={"R008"}) == []
+
+    def test_shipped_robust_package_is_clean(self):
+        robust_pkg = REPO / "src" / "repro" / "robust"
+        violations = lint_paths([str(robust_pkg)], rules={"R008"})
         assert violations == [], "\n".join(v.render() for v in violations)
 
 

@@ -383,6 +383,83 @@ def test_row_and_batch_modes_agree(trial):
         assert got.estimator_state == reference.estimator_state, context
 
 
+# -- history/ensemble differential guarantee -----------------------------------
+# Enabling run history (the repro.robust ensemble) must be observationally
+# invisible to execution: the ensemble is a read-only overlay on the same
+# tick stream. Rows, ticks, per-operator counts, every recorded snapshot's
+# work_done / work_total_estimate and the full estimator internals must be
+# bit-identical with history off, cold, and warm.
+
+HISTORY_TRIALS = range(0, NUM_PLANS, 10)
+
+
+@dataclass
+class _HistoryObservation:
+    rows: list[tuple]
+    counts: list[tuple[str, int]]
+    bus_count: int
+    true_total: float
+    t_q: float
+    snapshots: list[tuple[float, float, float]]
+    estimator_state: list[tuple]
+    prior_source: str | None
+
+
+def _observe_history(trial: int, store) -> _HistoryObservation:
+    plan = build_plan(trial)
+    bus = TickBus(interval=TICK_INTERVAL)
+    monitor = ProgressMonitor(
+        plan, mode="once", bus=bus, record_every=TICK_INTERVAL, history=store
+    )
+    result = ExecutionEngine(plan, bus=bus, collect_rows=True).run()
+    final = monitor.snapshot()
+    assert monitor.manager is not None
+    ops_by_id = {id(op): op for op in walk(plan)}
+    with monitor._lock:
+        snapshots = [
+            (s.work_done, s.work_total_estimate, s.progress)
+            for s in monitor.snapshots
+        ]
+    if store is not None:
+        from repro.robust.feedback import record_run
+
+        record_run(monitor, store, 0.1, len(result.rows or []))
+    return _HistoryObservation(
+        rows=result.rows or [],
+        counts=[(op.op_name, op.tuples_emitted) for op in walk(plan)],
+        bus_count=bus.count,
+        true_total=monitor.true_total(),
+        t_q=final.work_total_estimate,
+        snapshots=snapshots,
+        estimator_state=_estimator_state(monitor.manager, ops_by_id),
+        prior_source=final.prior_source,
+    )
+
+
+@pytest.mark.parametrize("trial", HISTORY_TRIALS)
+def test_history_enabled_runs_are_bit_identical(trial, tmp_path):
+    from repro.robust import HistoryStore
+
+    reference = _observe_history(trial, store=None)
+    assert reference.prior_source is None
+
+    path = tmp_path / "history.jsonl"
+    cold = _observe_history(trial, HistoryStore(path))
+    assert cold.prior_source == "cold"
+    warm = _observe_history(trial, HistoryStore(path))
+    assert warm.prior_source == "warm"
+
+    for label, got in (("cold", cold), ("warm", warm)):
+        context = f"trial={trial} {label}"
+        assert got.rows == reference.rows, context
+        assert got.counts == reference.counts, context
+        assert got.bus_count == reference.bus_count, context
+        assert got.true_total == reference.true_total, context
+        assert got.t_q == reference.t_q, context
+        assert got.snapshots == reference.snapshots, context
+        assert got.estimator_state == reference.estimator_state, context
+
+
 def test_harness_covers_the_plan_space():
     """Meta-check: the random generator actually exercises joins, shapers
     and truncating limits rather than collapsing to bare scans."""
